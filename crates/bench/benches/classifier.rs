@@ -1,0 +1,70 @@
+//! T1/E4 — the trichotomy classifier: φ⁺ construction plus treewidth
+//! measurement, per query family and per family size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epq_core::classify::classify_query;
+use epq_core::plus::plus_decomposition;
+use epq_logic::parser::parse_query;
+use epq_logic::query::infer_signature;
+use epq_workloads::queries;
+
+fn classify_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("T1/classify");
+    group.sample_size(10);
+    let members: Vec<(&str, epq_logic::Query)> = vec![
+        ("path5", queries::path_query(5)),
+        ("cycle5", queries::cycle_query(5)),
+        ("qpath4", queries::quantified_path_query(4)),
+        ("pendant3", queries::pendant_clique_query(3)),
+        ("clique4", queries::clique_query(4)),
+        ("grid3x3", queries::grid_query(3, 3)),
+    ];
+    for (label, q) in members {
+        let sig = infer_signature([q.formula()]).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| classify_query(&q, &sig).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn plus_construction_vs_disjunct_count(c: &mut Criterion) {
+    // E4: φ⁺ construction cost grows with the number of disjuncts
+    // (2^s − 1 inclusion–exclusion terms before cancellation).
+    let mut group = c.benchmark_group("E4/plus-vs-s");
+    group.sample_size(10);
+    for s in [2usize, 3, 4] {
+        // s rotated path disjuncts over a shared 4-variable frame.
+        let vars = ["w", "x", "y", "z"];
+        let mut parts = Vec::new();
+        for i in 0..s {
+            let a = vars[i % 4];
+            let b = vars[(i + 1) % 4];
+            let c2 = vars[(i + 2) % 4];
+            parts.push(format!("(E({a},{b}) & E({b},{c2}))"));
+        }
+        let text = format!("(w,x,y,z) := {}", parts.join(" | "));
+        let q = parse_query(&text).unwrap();
+        let sig = infer_signature([q.formula()]).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
+            b.iter(|| plus_decomposition(&q, &sig).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn plus_with_sentences(c: &mut Criterion) {
+    let text = "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y)) \
+                | (exists a, b, c, d . E(a,b) & E(b,c) & E(c,d))";
+    let q = parse_query(text).unwrap();
+    let sig = infer_signature([q.formula()]).unwrap();
+    let mut group = c.benchmark_group("E4/example-5-21");
+    group.sample_size(10);
+    group.bench_function("theta-plus", |b| {
+        b.iter(|| plus_decomposition(&q, &sig).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, classify_families, plus_construction_vs_disjunct_count, plus_with_sentences);
+criterion_main!(benches);

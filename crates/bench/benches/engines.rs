@@ -1,0 +1,68 @@
+//! F1 — counting-engine scaling on FPT-family queries.
+//!
+//! Regenerates the engine-comparison series of EXPERIMENTS.md: counting
+//! time versus structure size for a fixed bounded-treewidth query, per
+//! engine (brute force / relational algebra / #Hom-DP / FPT).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epq_bench::pp_of;
+use epq_counting::engines::{
+    BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine, RelalgEngine,
+};
+use epq_workloads::{data, queries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn engines_on_quantified_path(c: &mut Criterion) {
+    let query = queries::quantified_path_query(3);
+    let pp = pp_of(&query);
+    let mut group = c.benchmark_group("F1/qpath3");
+    group.sample_size(10);
+    for n in [8usize, 16, 32, 64] {
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(n as u64), n, 0.08);
+        let engines: Vec<Box<dyn PpCountingEngine>> = vec![
+            Box::new(BruteForceEngine),
+            Box::new(RelalgEngine),
+            Box::new(HomDpEngine),
+            Box::new(FptEngine),
+        ];
+        for engine in engines {
+            if engine.name() == "brute-force" && n > 32 {
+                continue; // quadratic × hom-check blowup; series recorded up to 32
+            }
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), n),
+                &n,
+                |bencher, _| {
+                    bencher.iter(|| engine.count(&pp, &b));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn engines_on_free_path(c: &mut Criterion) {
+    // Quantifier-free path P_2 (3 liberal variables): #Hom-DP territory.
+    let query = queries::path_query(2);
+    let pp = pp_of(&query);
+    let mut group = c.benchmark_group("F1/path2");
+    group.sample_size(10);
+    for n in [8usize, 16, 32] {
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(7 + n as u64), n, 0.1);
+        for engine in [&HomDpEngine as &dyn PpCountingEngine, &FptEngine, &RelalgEngine]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), n),
+                &n,
+                |bencher, _| {
+                    bencher.iter(|| engine.count(&pp, &b));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engines_on_quantified_path, engines_on_free_path);
+criterion_main!(benches);

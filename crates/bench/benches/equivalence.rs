@@ -1,0 +1,88 @@
+//! E5 — the counting-equivalence decision procedure (Theorem 5.4) and
+//! semi-counting equivalence (Theorem 5.9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epq_core::equivalence::{counting_equivalent, semi_counting_equivalent};
+use epq_logic::parser::parse_query;
+use epq_logic::PpFormula;
+use epq_workloads::{data, queries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pp(text: &str) -> PpFormula {
+    PpFormula::from_query(&parse_query(text).unwrap(), &data::digraph_signature())
+        .unwrap()
+}
+
+fn curated_pairs(c: &mut Criterion) {
+    let pairs = [
+        ("equiv-rename", "E(x,y) & E(y,z)", "E(a,b) & E(b,c)"),
+        ("inequiv-shape", "E(x,y) & E(y,z)", "E(a,b) & E(a,c)"),
+        ("equiv-quantified", "(x) := exists u . E(x,u)", "(y) := exists v . E(y,v)"),
+    ];
+    let mut group = c.benchmark_group("E5/decision");
+    group.sample_size(20);
+    for (label, ta, tb) in pairs {
+        let a = pp(ta);
+        let b = pp(tb);
+        group.bench_function(label, |bench| {
+            bench.iter(|| counting_equivalent(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn growing_liberal_sets(c: &mut Criterion) {
+    // The decision enumerates liberal bijections: measure growth with k
+    // on path queries (pruning keeps it tame).
+    let mut group = c.benchmark_group("E5/decision-vs-k");
+    group.sample_size(10);
+    for k in [2usize, 4, 6] {
+        let a = epq_bench::pp_of(&queries::path_query(k));
+        let b = epq_bench::pp_of(&queries::path_query(k));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| counting_equivalent(&a, &b));
+        });
+    }
+    group.finish();
+}
+
+fn semi_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("E5/semi-counting");
+    group.sample_size(20);
+    let a = pp("(x,y) := E(x,y)");
+    let b = pp("(x,y) := exists p, q . E(x,y) & E(p,q)");
+    group.bench_function("hat-then-decide", |bench| {
+        bench.iter(|| semi_counting_equivalent(&a, &b));
+    });
+    group.finish();
+}
+
+fn random_pairs(c: &mut Criterion) {
+    let sig = data::digraph_signature();
+    let pairs: Vec<(PpFormula, PpFormula)> = (0..8u64)
+        .map(|seed| {
+            let qa = queries::random_cq(&mut StdRng::seed_from_u64(seed), 3, 3, 0.3);
+            let qb =
+                queries::random_cq(&mut StdRng::seed_from_u64(seed + 50), 3, 3, 0.3);
+            (
+                PpFormula::from_query(&qa, &sig).unwrap(),
+                PpFormula::from_query(&qb, &sig).unwrap(),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("E5/random-batch");
+    group.sample_size(10);
+    group.bench_function("decide-8-pairs", |bench| {
+        bench.iter(|| {
+            pairs
+                .iter()
+                .filter(|(a, b)| counting_equivalent(a, b))
+                .count()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, curated_pairs, growing_liberal_sets, semi_counting, random_pairs);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! F2/F3 — the hardness side of the trichotomy.
+//!
+//! F2: counting k-cliques through answer counting (case 3 — the time
+//! grows superpolynomially in k). F3: the pendant-clique family (case 2 —
+//! polynomial in |B| for fixed k, exponential in k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epq_bench::pp_of;
+use epq_counting::clique::{count_cliques_via_answers, graph_to_structure};
+use epq_counting::engines::FptEngine;
+use epq_graph::generators::random_gnp;
+use epq_workloads::queries;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn clique_counting_in_k(c: &mut Criterion) {
+    let g = random_gnp(24, 0.4, &mut StdRng::seed_from_u64(7));
+    let mut group = c.benchmark_group("F2/clique-count-vs-k");
+    group.sample_size(10);
+    for k in 2..=4usize {
+        group.bench_with_input(BenchmarkId::new("via-answers", k), &k, |bencher, &k| {
+            bencher.iter(|| count_cliques_via_answers(&g, k, &FptEngine));
+        });
+        group.bench_with_input(BenchmarkId::new("graph-alg", k), &k, |bencher, &k| {
+            bencher.iter(|| epq_graph::cliques::count_k_cliques(&g, k));
+        });
+    }
+    group.finish();
+}
+
+fn pendant_clique_in_n(c: &mut Criterion) {
+    // Case 2: fixed k = 3, growing n — polynomial scaling in n.
+    let query = queries::pendant_clique_query(3);
+    let pp = pp_of(&query);
+    let mut group = c.benchmark_group("F3/pendant-k3-vs-n");
+    group.sample_size(10);
+    for n in [10usize, 20, 40] {
+        let g = random_gnp(n, 0.4, &mut StdRng::seed_from_u64(100 + n as u64));
+        let b = graph_to_structure(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bencher, _| {
+            bencher.iter(|| {
+                use epq_counting::engines::PpCountingEngine;
+                FptEngine.count(&pp, &b)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn pendant_clique_in_k(c: &mut Criterion) {
+    // Case 2: fixed n, growing k — the parameter dependence.
+    let g = random_gnp(16, 0.5, &mut StdRng::seed_from_u64(3));
+    let b = graph_to_structure(&g);
+    let mut group = c.benchmark_group("F3/pendant-n16-vs-k");
+    group.sample_size(10);
+    for k in 2..=4usize {
+        let query = queries::pendant_clique_query(k);
+        let pp = pp_of(&query);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bencher, _| {
+            bencher.iter(|| {
+                use epq_counting::engines::PpCountingEngine;
+                FptEngine.count(&pp, &b)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, clique_counting_in_k, pendant_clique_in_n, pendant_clique_in_k);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! E1/E2/F4 — inclusion–exclusion: the expansion itself, the
+//! counting-equivalence cancellation, and the measured payoff of
+//! evaluating φ* instead of the raw term list (Examples 4.2/5.15).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epq_core::iex::{evaluate_signed_sum, inclusion_exclusion_terms, star};
+use epq_counting::engines::FptEngine;
+use epq_logic::dnf;
+use epq_logic::parser::parse_query;
+use epq_workloads::{data, queries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Example 4.2's UCQ (three rotated 2-paths over {w,x,y,z}).
+fn example_4_2_disjuncts() -> Vec<epq_logic::PpFormula> {
+    let q = parse_query(
+        "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))",
+    )
+    .unwrap();
+    dnf::disjuncts(&q, &data::digraph_signature()).unwrap()
+}
+
+fn expansion_and_cancellation(c: &mut Criterion) {
+    let ds = example_4_2_disjuncts();
+    let mut group = c.benchmark_group("E2/construction");
+    group.sample_size(10);
+    group.bench_function("raw-expansion", |b| {
+        b.iter(|| inclusion_exclusion_terms(&ds));
+    });
+    group.bench_function("star-with-cancellation", |b| {
+        b.iter(|| star(&ds));
+    });
+    group.finish();
+}
+
+fn star_evaluation_payoff(c: &mut Criterion) {
+    let ds = example_4_2_disjuncts();
+    let raw = inclusion_exclusion_terms(&ds);
+    let star_terms = star(&ds);
+    let b = data::random_digraph(&mut StdRng::seed_from_u64(42), 32, 0.12);
+    let mut group = c.benchmark_group("E2/evaluation-G32");
+    group.sample_size(10);
+    group.bench_function("raw-7-terms", |bench| {
+        bench.iter(|| evaluate_signed_sum(&raw, &b, &FptEngine));
+    });
+    group.bench_function("star-2-terms", |bench| {
+        bench.iter(|| evaluate_signed_sum(&star_terms, &b, &FptEngine));
+    });
+    group.finish();
+}
+
+fn random_ucq_star_construction(c: &mut Criterion) {
+    let sig = data::digraph_signature();
+    let mut group = c.benchmark_group("F4/star-on-random-ucqs");
+    group.sample_size(10);
+    for s in [2usize, 3, 4] {
+        let q = queries::random_ucq(&mut StdRng::seed_from_u64(s as u64), s, 3, 2, 0.2);
+        let ds = dnf::disjuncts(&q, &sig).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(s), &s, |b, _| {
+            b.iter(|| star(&ds));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    expansion_and_cancellation,
+    star_evaluation_payoff,
+    random_ucq_star_construction
+);
+criterion_main!(benches);

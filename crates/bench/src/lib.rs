@@ -1,0 +1,101 @@
+//! # epq-bench — benchmark harness and experiment runner
+//!
+//! Crate S9 of the `epq` workspace (see `DESIGN.md`).
+//!
+//! Two entry points:
+//!
+//! * the **`experiments` binary** (`cargo run -p epq-bench --release --bin
+//!   experiments -- [ids…]`) regenerates every table and series recorded
+//!   in `EXPERIMENTS.md` (T1, E1–E6, F1–F4);
+//! * the **Criterion benches** (`cargo bench -p epq-bench`) measure the
+//!   same workloads with statistical rigor, one bench target per
+//!   experiment group.
+//!
+//! This library holds the shared workload builders and measurement
+//! helpers used by both.
+
+use epq_counting::engines::PpCountingEngine;
+use epq_logic::query::infer_signature;
+use epq_logic::{PpFormula, Query};
+use epq_structures::Structure;
+use std::time::Instant;
+
+/// Builds the pp view of a query against its inferred signature.
+pub fn pp_of(query: &Query) -> PpFormula {
+    let sig = infer_signature([query.formula()]).expect("signature infers");
+    PpFormula::from_query(query, &sig).expect("query converts")
+}
+
+/// Median wall-clock microseconds over `runs` executions of `f`.
+pub fn time_us(runs: usize, mut f: impl FnMut()) -> f64 {
+    assert!(runs >= 1);
+    let mut samples = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Times one engine on one (query, structure) pair, returning (count,
+/// median µs).
+pub fn time_engine(
+    engine: &dyn PpCountingEngine,
+    pp: &PpFormula,
+    b: &Structure,
+    runs: usize,
+) -> (String, f64) {
+    let count = engine.count(pp, b);
+    let us = time_us(runs, || {
+        let _ = engine.count(pp, b);
+    });
+    (count.to_string(), us)
+}
+
+/// Formats a row of fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<width$}", width = w))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Prints a rule line matching `widths`.
+pub fn rule(widths: &[usize]) -> String {
+    "-".repeat(widths.iter().sum::<usize>() + widths.len().saturating_sub(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epq_workloads::{data, queries};
+
+    #[test]
+    fn timing_helpers_run() {
+        let us = time_us(3, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(us >= 0.0);
+    }
+
+    #[test]
+    fn engine_timer_returns_consistent_count() {
+        let q = queries::path_query(2);
+        let pp = pp_of(&q);
+        let b = data::path_structure(5);
+        let (count, _) =
+            time_engine(&epq_counting::engines::FptEngine, &pp, &b, 2);
+        assert_eq!(count, "3");
+    }
+
+    #[test]
+    fn table_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "a   bb  ");
+        assert_eq!(rule(&[3, 4]).len(), 8);
+    }
+}

@@ -1,0 +1,264 @@
+//! Exact linear algebra over the rationals.
+//!
+//! Two uses in the reproduction:
+//!
+//! 1. **Vandermonde systems** (Example 4.3, Theorem 5.20, and the proof of
+//!    Theorem 5.4): the oracle interreductions evaluate a query count on
+//!    product structures **B** × **C**^ℓ for ℓ = 0, 1, …, s−1 and recover the
+//!    per-class counts by solving `Σ_j x_j^ℓ · w_j = y_ℓ` — a *transposed*
+//!    Vandermonde system with pairwise distinct `x_j`.
+//! 2. **Polynomial interpolation** (Preliminaries, "Polynomials"): a degree-n
+//!    polynomial is determined by n+1 points, with rational coefficients
+//!    computable in polynomial time.
+//!
+//! Everything here is exact; there is no floating point.
+
+use crate::rational::Rational;
+
+/// A dense matrix of rationals (row-major).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Rational>,
+}
+
+impl Matrix {
+    /// Builds a matrix from rows. All rows must have equal length.
+    pub fn from_rows(rows: Vec<Vec<Rational>>) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        assert!(rows.iter().all(|row| row.len() == c), "ragged matrix rows");
+        Matrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Immutable entry access.
+    pub fn get(&self, r: usize, c: usize) -> &Rational {
+        &self.data[r * self.cols + c]
+    }
+
+    fn get_mut(&mut self, r: usize, c: usize) -> &mut Rational {
+        &mut self.data[r * self.cols + c]
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            self.data.swap(a * self.cols + c, b * self.cols + c);
+        }
+    }
+}
+
+/// Solves the square system `A·x = b` by exact Gaussian elimination with
+/// partial (first-nonzero) pivoting.
+///
+/// Returns `None` when `A` is singular.
+pub fn solve_linear_system(a: &Matrix, b: &[Rational]) -> Option<Vec<Rational>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve_linear_system requires a square matrix");
+    assert_eq!(b.len(), n, "right-hand side length mismatch");
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Find a pivot.
+        let pivot = (col..n).find(|&r| !m.get(r, col).is_zero())?;
+        m.swap_rows(col, pivot);
+        rhs.swap(col, pivot);
+        let pivot_value = m.get(col, col).clone();
+        // Eliminate below.
+        for r in col + 1..n {
+            if m.get(r, col).is_zero() {
+                continue;
+            }
+            let factor = m.get(r, col) / &pivot_value;
+            for c in col..n {
+                let delta = &factor * m.get(col, c);
+                *m.get_mut(r, c) = m.get(r, c) - &delta;
+            }
+            let delta = &factor * &rhs[col];
+            rhs[r] = &rhs[r] - &delta;
+        }
+    }
+    // Back substitution.
+    let mut x = vec![Rational::zero(); n];
+    for r in (0..n).rev() {
+        let mut acc = rhs[r].clone();
+        for c in r + 1..n {
+            let delta = m.get(r, c) * &x[c];
+            acc = acc - delta;
+        }
+        x[r] = &acc / m.get(r, r);
+    }
+    Some(x)
+}
+
+/// Solves the transposed Vandermonde system
+/// `Σ_j xs[j]^ℓ · w_j = ys[ℓ]`  for ℓ = 0, …, n−1,
+/// which is exactly the system arising from oracle queries on
+/// **B** × **C**^ℓ in Example 4.3 / Theorem 5.20.
+///
+/// Requires the `xs` to be pairwise distinct (then the system is
+/// non-singular); returns `None` otherwise.
+pub fn solve_transposed_vandermonde(xs: &[Rational], ys: &[Rational]) -> Option<Vec<Rational>> {
+    let n = xs.len();
+    assert_eq!(ys.len(), n, "point/value length mismatch");
+    for i in 0..n {
+        for j in i + 1..n {
+            if xs[i] == xs[j] {
+                return None;
+            }
+        }
+    }
+    let rows: Vec<Vec<Rational>> = (0..n)
+        .map(|l| xs.iter().map(|x| pow_rational(x, l)).collect())
+        .collect();
+    solve_linear_system(&Matrix::from_rows(rows), ys)
+}
+
+/// Raises a rational to a non-negative integer power.
+pub fn pow_rational(x: &Rational, exp: usize) -> Rational {
+    let mut acc = Rational::one();
+    let mut base = x.clone();
+    let mut e = exp;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = &acc * &base;
+        }
+        base = &base * &base;
+        e >>= 1;
+    }
+    acc
+}
+
+/// Interpolates the unique polynomial of degree ≤ n through the n+1 given
+/// `(x, y)` points; returns the coefficients `a_0, …, a_n` (low degree
+/// first). Returns `None` if two x-values coincide.
+///
+/// This realizes the polynomial fact from the paper's Preliminaries: the
+/// coefficients are rational and computable in polynomial time.
+pub fn interpolate_polynomial(points: &[(Rational, Rational)]) -> Option<Vec<Rational>> {
+    let n = points.len();
+    for i in 0..n {
+        for j in i + 1..n {
+            if points[i].0 == points[j].0 {
+                return None;
+            }
+        }
+    }
+    let rows: Vec<Vec<Rational>> = points
+        .iter()
+        .map(|(x, _)| (0..n).map(|k| pow_rational(x, k)).collect())
+        .collect();
+    let ys: Vec<Rational> = points.iter().map(|(_, y)| y.clone()).collect();
+    solve_linear_system(&Matrix::from_rows(rows), &ys)
+}
+
+/// Evaluates a polynomial given by coefficients (low degree first) at `x`
+/// by Horner's rule.
+pub fn evaluate_polynomial(coefficients: &[Rational], x: &Rational) -> Rational {
+    let mut acc = Rational::zero();
+    for c in coefficients.iter().rev() {
+        acc = &(&acc * x) + c;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integer::Integer;
+
+    fn q(n: i64, d: i64) -> Rational {
+        Rational::new(Integer::from(n), Integer::from(d))
+    }
+
+    fn qi(n: i64) -> Rational {
+        Rational::from(n)
+    }
+
+    #[test]
+    fn solve_2x2() {
+        // x + y = 3; x - y = 1  =>  x = 2, y = 1
+        let a = Matrix::from_rows(vec![vec![qi(1), qi(1)], vec![qi(1), qi(-1)]]);
+        let x = solve_linear_system(&a, &[qi(3), qi(1)]).unwrap();
+        assert_eq!(x, vec![qi(2), qi(1)]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // First pivot is zero; needs a row swap.
+        let a = Matrix::from_rows(vec![vec![qi(0), qi(2)], vec![qi(3), qi(0)]]);
+        let x = solve_linear_system(&a, &[qi(4), qi(9)]).unwrap();
+        assert_eq!(x, vec![qi(3), qi(2)]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_rows(vec![vec![qi(1), qi(2)], vec![qi(2), qi(4)]]);
+        assert!(solve_linear_system(&a, &[qi(1), qi(2)]).is_none());
+    }
+
+    #[test]
+    fn rational_solution() {
+        // 2x = 1  =>  x = 1/2
+        let a = Matrix::from_rows(vec![vec![qi(2)]]);
+        assert_eq!(solve_linear_system(&a, &[qi(1)]).unwrap(), vec![q(1, 2)]);
+    }
+
+    #[test]
+    fn transposed_vandermonde_roundtrip() {
+        // Pick weights, generate moments, recover weights.
+        let xs = [qi(1), qi(4), qi(9)];
+        let w = [qi(5), qi(-2), qi(7)];
+        let ys: Vec<Rational> = (0..3)
+            .map(|l| {
+                xs.iter()
+                    .zip(w.iter())
+                    .map(|(x, wi)| &pow_rational(x, l) * wi)
+                    .fold(Rational::zero(), |a, b| a + b)
+            })
+            .collect();
+        let recovered = solve_transposed_vandermonde(&xs, &ys).unwrap();
+        assert_eq!(recovered, w.to_vec());
+    }
+
+    #[test]
+    fn transposed_vandermonde_rejects_duplicates() {
+        assert!(solve_transposed_vandermonde(&[qi(2), qi(2)], &[qi(0), qi(0)]).is_none());
+    }
+
+    #[test]
+    fn interpolate_quadratic() {
+        // p(x) = 2x² - 3x + 1
+        let pts = [(qi(0), qi(1)), (qi(1), qi(0)), (qi(2), qi(3))];
+        let coeffs = interpolate_polynomial(&pts).unwrap();
+        assert_eq!(coeffs, vec![qi(1), qi(-3), qi(2)]);
+        assert_eq!(evaluate_polynomial(&coeffs, &qi(5)), qi(36));
+    }
+
+    #[test]
+    fn interpolate_detects_duplicate_x() {
+        let pts = [(qi(1), qi(1)), (qi(1), qi(2))];
+        assert!(interpolate_polynomial(&pts).is_none());
+    }
+
+    #[test]
+    fn pow_rational_cases() {
+        assert_eq!(pow_rational(&q(2, 3), 0), qi(1));
+        assert_eq!(pow_rational(&q(2, 3), 2), q(4, 9));
+        assert_eq!(pow_rational(&qi(-2), 3), qi(-8));
+    }
+}

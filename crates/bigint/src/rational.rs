@@ -1,0 +1,280 @@
+//! Exact rational numbers.
+//!
+//! A [`Rational`] is a fully reduced fraction `numerator / denominator` with
+//! a strictly positive denominator; the sign lives on the numerator.
+
+use crate::integer::Integer;
+use crate::natural::Natural;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// An exact rational number, always in lowest terms.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    numerator: Integer,
+    /// Always strictly positive.
+    denominator: Natural,
+}
+
+impl Rational {
+    /// The value 0.
+    pub fn zero() -> Self {
+        Rational { numerator: Integer::zero(), denominator: Natural::one() }
+    }
+
+    /// The value 1.
+    pub fn one() -> Self {
+        Rational { numerator: Integer::one(), denominator: Natural::one() }
+    }
+
+    /// Builds `numerator / denominator`, reducing to lowest terms.
+    ///
+    /// # Panics
+    /// Panics if `denominator` is zero.
+    pub fn new(numerator: Integer, denominator: Integer) -> Self {
+        assert!(!denominator.is_zero(), "Rational with zero denominator");
+        let numerator =
+            if denominator.is_negative() { -numerator } else { numerator };
+        let den_mag = denominator.into_magnitude();
+        let g = numerator.magnitude().gcd(&den_mag);
+        if g.is_zero() {
+            // numerator == 0
+            return Rational::zero();
+        }
+        let num = Integer::from_sign_magnitude(
+            numerator.sign(),
+            numerator.magnitude().div_rem(&g).0,
+        );
+        let den = den_mag.div_rem(&g).0;
+        Rational { numerator: num, denominator: den }
+    }
+
+    /// The (signed, reduced) numerator.
+    pub fn numerator(&self) -> &Integer {
+        &self.numerator
+    }
+
+    /// The (positive, reduced) denominator.
+    pub fn denominator(&self) -> &Natural {
+        &self.denominator
+    }
+
+    /// Whether this is 0.
+    pub fn is_zero(&self) -> bool {
+        self.numerator.is_zero()
+    }
+
+    /// Whether the denominator is 1 (so the value is an integer).
+    pub fn is_integer(&self) -> bool {
+        self.denominator.is_one()
+    }
+
+    /// Converts to an [`Integer`] if the value is integral.
+    pub fn to_integer(&self) -> Option<Integer> {
+        if self.is_integer() {
+            Some(self.numerator.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Multiplicative inverse. Panics if zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(
+            Integer::from_sign_magnitude(self.numerator.sign(), self.denominator.clone()),
+            self.numerator.abs(),
+        )
+    }
+
+    /// Approximate `f64` value (reporting only).
+    pub fn to_f64(&self) -> f64 {
+        self.numerator.to_f64() / self.denominator.to_f64()
+    }
+}
+
+impl From<Integer> for Rational {
+    fn from(i: Integer) -> Self {
+        Rational { numerator: i, denominator: Natural::one() }
+    }
+}
+
+impl From<Natural> for Rational {
+    fn from(n: Natural) -> Self {
+        Rational::from(Integer::from(n))
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from(Integer::from(v))
+    }
+}
+
+impl Add<&Rational> for &Rational {
+    type Output = Rational;
+    fn add(self, rhs: &Rational) -> Rational {
+        let a = &self.numerator * &Integer::from(rhs.denominator.clone());
+        let b = &rhs.numerator * &Integer::from(self.denominator.clone());
+        Rational::new(a + b, Integer::from(&self.denominator * &rhs.denominator))
+    }
+}
+
+impl Add for Rational {
+    type Output = Rational;
+    fn add(self, rhs: Rational) -> Rational {
+        (&self).add(&rhs)
+    }
+}
+
+impl Sub<&Rational> for &Rational {
+    type Output = Rational;
+    fn sub(self, rhs: &Rational) -> Rational {
+        self.add(&-rhs.clone())
+    }
+}
+
+impl Sub for Rational {
+    type Output = Rational;
+    fn sub(self, rhs: Rational) -> Rational {
+        (&self).sub(&rhs)
+    }
+}
+
+impl Mul<&Rational> for &Rational {
+    type Output = Rational;
+    fn mul(self, rhs: &Rational) -> Rational {
+        Rational::new(
+            &self.numerator * &rhs.numerator,
+            Integer::from(&self.denominator * &rhs.denominator),
+        )
+    }
+}
+
+impl Mul for Rational {
+    type Output = Rational;
+    fn mul(self, rhs: Rational) -> Rational {
+        (&self).mul(&rhs)
+    }
+}
+
+impl Div<&Rational> for &Rational {
+    type Output = Rational;
+    fn div(self, rhs: &Rational) -> Rational {
+        self.mul(&rhs.recip())
+    }
+}
+
+impl Div for Rational {
+    type Output = Rational;
+    fn div(self, rhs: Rational) -> Rational {
+        (&self).div(&rhs)
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { numerator: -self.numerator, denominator: self.denominator }
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        -self.clone()
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d  (b,d > 0)  <=>  a·d vs c·b
+        let lhs = &self.numerator * &Integer::from(other.denominator.clone());
+        let rhs = &other.numerator * &Integer::from(self.denominator.clone());
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.numerator)
+        } else {
+            write!(f, "{}/{}", self.numerator, self.denominator)
+        }
+    }
+}
+
+impl fmt::Debug for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(n: i64, d: i64) -> Rational {
+        Rational::new(Integer::from(n), Integer::from(d))
+    }
+
+    #[test]
+    fn reduction_and_sign_normalization() {
+        assert_eq!(q(2, 4), q(1, 2));
+        assert_eq!(q(-2, -4), q(1, 2));
+        assert_eq!(q(2, -4), q(-1, 2));
+        assert_eq!(q(0, -7), Rational::zero());
+        assert!(q(3, -9).numerator().is_negative());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = q(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(q(1, 2) + q(1, 3), q(5, 6));
+        assert_eq!(q(1, 2) - q(1, 3), q(1, 6));
+        assert_eq!(q(2, 3) * q(3, 4), q(1, 2));
+        assert_eq!(q(1, 2) / q(1, 4), q(2, 1));
+        assert_eq!(-q(1, 2), q(-1, 2));
+    }
+
+    #[test]
+    fn integrality() {
+        assert!(q(4, 2).is_integer());
+        assert_eq!(q(4, 2).to_integer(), Some(Integer::from(2)));
+        assert_eq!(q(1, 2).to_integer(), None);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(q(1, 3) < q(1, 2));
+        assert!(q(-1, 2) < q(-1, 3));
+        assert!(q(-1, 2) < Rational::zero());
+        assert_eq!(q(2, 6).cmp(&q(1, 3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(q(2, 3).recip(), q(3, 2));
+        assert_eq!(q(-2, 3).recip(), q(-3, 2));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(q(1, 2).to_string(), "1/2");
+        assert_eq!(q(-4, 2).to_string(), "-2");
+        assert_eq!(Rational::zero().to_string(), "0");
+    }
+}

@@ -1,0 +1,162 @@
+//! Property-based tests for the bignum tower: agreement with `u128`
+//! arithmetic on small values, ring axioms, and division invariants.
+
+use epq_bigint::{Integer, Natural, Rational};
+use proptest::prelude::*;
+
+fn nat(v: u128) -> Natural {
+    Natural::from(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+        prop_assert_eq!(nat(a) + nat(b), nat(a + b));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u128..=u64::MAX as u128, b in 0u128..=u64::MAX as u128) {
+        prop_assert_eq!(nat(a) * nat(b), nat(a * b));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in 0u128..1u128 << 100, b in 0u128..1u128 << 100) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(nat(hi).checked_sub(&nat(lo)), Some(nat(hi - lo)));
+        if hi != lo {
+            prop_assert_eq!(nat(lo).checked_sub(&nat(hi)), None);
+        }
+    }
+
+    #[test]
+    fn div_rem_invariant(a in any::<u128>(), b in 1u128..=u128::MAX) {
+        let (q, r) = nat(a).div_rem(&nat(b));
+        prop_assert_eq!(&q * &nat(b) + r.clone(), nat(a));
+        prop_assert!(r < nat(b));
+    }
+
+    // Multi-limb division stress: build operands from limb vectors directly.
+    #[test]
+    fn div_rem_invariant_wide(
+        a_limbs in proptest::collection::vec(any::<u64>(), 1..8),
+        b_limbs in proptest::collection::vec(any::<u64>(), 1..5),
+    ) {
+        let a = Natural::from_limbs(a_limbs);
+        let b = Natural::from_limbs(b_limbs);
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&q * &b + r.clone(), a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn mul_associative_and_commutative(
+        a_limbs in proptest::collection::vec(any::<u64>(), 0..6),
+        b_limbs in proptest::collection::vec(any::<u64>(), 0..6),
+        c_limbs in proptest::collection::vec(any::<u64>(), 0..6),
+    ) {
+        let a = Natural::from_limbs(a_limbs);
+        let b = Natural::from_limbs(b_limbs);
+        let c = Natural::from_limbs(c_limbs);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+    }
+
+    #[test]
+    fn distributivity(
+        a in any::<u64>(), b in any::<u64>(), c in any::<u64>(),
+    ) {
+        let (a, b, c) = (Natural::from(a), Natural::from(b), Natural::from(c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+    }
+
+    #[test]
+    fn display_parse_roundtrip(limbs in proptest::collection::vec(any::<u64>(), 0..6)) {
+        let a = Natural::from_limbs(limbs);
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Natural>().unwrap(), a);
+    }
+
+    #[test]
+    fn shifts_are_mul_div_by_powers(a in any::<u64>(), s in 0usize..70) {
+        let shifted = Natural::from(a) << s;
+        prop_assert_eq!(shifted.clone(), Natural::from(a) * Natural::from(2u64).pow(s as u32));
+        prop_assert_eq!(shifted >> s, Natural::from(a));
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1u128..1u128 << 90, b in 1u128..1u128 << 90) {
+        let g = nat(a).gcd(&nat(b));
+        prop_assert!((&nat(a) % &g).is_zero());
+        prop_assert!((&nat(b) % &g).is_zero());
+    }
+
+    #[test]
+    fn integer_matches_i128(a in -(1i128 << 62)..(1i128 << 62), b in -(1i128 << 62)..(1i128 << 62)) {
+        let (ia, ib) = (Integer::from(a as i64), Integer::from(b as i64));
+        prop_assert_eq!((&ia + &ib).to_i64(), Some((a + b) as i64));
+        prop_assert_eq!((&ia - &ib).to_i64(), Some((a - b) as i64));
+        prop_assert_eq!((&ia).cmp(&ib), a.cmp(&b));
+    }
+
+    #[test]
+    fn integer_div_rem_matches_i64(a in any::<i32>(), b in any::<i32>()) {
+        prop_assume!(b != 0);
+        let (q, r) = Integer::from(a).div_rem(&Integer::from(b));
+        prop_assert_eq!(q.to_i64(), Some(a as i64 / b as i64));
+        prop_assert_eq!(r.to_i64(), Some(a as i64 % b as i64));
+    }
+
+    #[test]
+    fn rational_field_axioms(
+        an in -100i64..100, ad in 1i64..50,
+        bn in -100i64..100, bd in 1i64..50,
+        cn in -100i64..100, cd in 1i64..50,
+    ) {
+        let a = Rational::new(Integer::from(an), Integer::from(ad));
+        let b = Rational::new(Integer::from(bn), Integer::from(bd));
+        let c = Rational::new(Integer::from(cn), Integer::from(cd));
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+        }
+    }
+
+    #[test]
+    fn vandermonde_recovers_weights(
+        ws in proptest::collection::vec(-1000i64..1000, 1..6),
+    ) {
+        // Distinct positive x values: 1, 2, 3, ...
+        let xs: Vec<Rational> = (1..=ws.len() as i64).map(Rational::from).collect();
+        let w: Vec<Rational> = ws.iter().copied().map(Rational::from).collect();
+        let ys: Vec<Rational> = (0..ws.len())
+            .map(|l| {
+                xs.iter().zip(w.iter())
+                    .map(|(x, wi)| epq_bigint::linalg::pow_rational(x, l) * wi.clone())
+                    .fold(Rational::zero(), |acc, t| acc + t)
+            })
+            .collect();
+        let recovered = epq_bigint::linalg::solve_transposed_vandermonde(&xs, &ys).unwrap();
+        prop_assert_eq!(recovered, w);
+    }
+
+    #[test]
+    fn interpolation_reproduces_points(
+        coeffs in proptest::collection::vec(-50i64..50, 1..5),
+    ) {
+        let cs: Vec<Rational> = coeffs.iter().copied().map(Rational::from).collect();
+        let pts: Vec<(Rational, Rational)> = (0..cs.len() as i64)
+            .map(|x| {
+                let xq = Rational::from(x);
+                let y = epq_bigint::linalg::evaluate_polynomial(&cs, &xq);
+                (xq, y)
+            })
+            .collect();
+        let got = epq_bigint::linalg::interpolate_polynomial(&pts).unwrap();
+        for (x, y) in &pts {
+            prop_assert_eq!(epq_bigint::linalg::evaluate_polynomial(&got, x), y.clone());
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Deterministic distinguishing structures: the constructive content of
+//! Lemmas 5.12 and 5.13.
+//!
+//! [`crate::oracle::find_distinguishing_structure`] uses a verified
+//! randomized search; this module implements the paper's own
+//! constructions as deterministic algorithms:
+//!
+//! * **Lemma 5.13** ([`separating_structure`]): for two formulas that are
+//!   *not* semi-counting equivalent, find a structure on which **every**
+//!   pp-formula is satisfiable and the two counts differ. The proof takes
+//!   any base witness `B` with differing counts and pads it to `B + kI`;
+//!   the counts are polynomials in `k`, so they stay different for some
+//!   `k ≤ deg + 1`. We enumerate deterministic base candidates built from
+//!   the formulas' own structures (their disjoint unions and blow-ups)
+//!   before falling back to a seeded search, then run the padding scan.
+//!
+//! * **Lemma 5.12** ([`amplified_distinguishing_structure`]): the
+//!   induction that merges pairwise separators into one distinguisher.
+//!   Given `D` distinguishing the first n−1 representatives, if the n-th
+//!   ties with some `φᵢ` on `D`, take a pairwise separator `D′` and form
+//!   `C = Dˡ × D′` with `ℓ` chosen so that the gaps `|φ(D)|ˡ` dominate
+//!   the maximal `D′`-factor — the paper's inequality, evaluated with
+//!   exact bignum arithmetic.
+
+use crate::equivalence::{blow_up, semi_counting_equivalent};
+use epq_bigint::Natural;
+use epq_counting::brute::count_pp_brute;
+use epq_logic::PpFormula;
+use epq_structures::{ops, Structure};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Lemma 5.13: a structure on which every pp-formula is satisfiable and
+/// `|a(·)| ≠ |b(·)|`, both nonzero.
+///
+/// # Panics
+/// Panics if `a` and `b` are semi-counting equivalent (no such structure
+/// exists) or if the base-witness search exhausts its budget.
+pub fn separating_structure(a: &PpFormula, b: &PpFormula) -> Structure {
+    assert!(
+        !semi_counting_equivalent(a, b),
+        "separating_structure requires non-semi-counting-equivalent formulas"
+    );
+    let base = base_witness(a, b).expect("base witness search exhausted");
+    // Padding scan: counts on B + kI are polynomials in k of degree at
+    // most the number of components, so they separate for some small k.
+    let degree_bound =
+        a.components().len().max(b.components().len()) + 1;
+    for k in 1..=degree_bound.max(2) {
+        let padded = ops::add_units(&base, k);
+        let ca = count_pp_brute(a, &padded);
+        let cb = count_pp_brute(b, &padded);
+        if !ca.is_zero() && !cb.is_zero() && ca != cb {
+            return padded;
+        }
+    }
+    unreachable!("padding polynomials must separate within the degree bound");
+}
+
+/// Finds a base structure where the two counts differ with at least one
+/// of them positive (the raw witness behind Lemma 5.13). Deterministic
+/// candidates first (built from the formulas themselves), then a seeded
+/// random sweep.
+fn base_witness(a: &PpFormula, b: &PpFormula) -> Option<Structure> {
+    let differ = |s: &Structure| count_pp_brute(a, s) != count_pp_brute(b, s);
+    // Candidates derived from the formulas' own structures: each
+    // formula's structure, their disjoint union, and 2-fold blow-ups of
+    // small element subsets.
+    let mut candidates: Vec<Structure> =
+        vec![a.structure().clone(), b.structure().clone()];
+    candidates.push(ops::disjoint_union(a.structure(), b.structure()));
+    for source in [a.structure(), b.structure()] {
+        for e in 0..source.universe_size().min(3) as u32 {
+            candidates.push(blow_up(source, &[e], 2));
+        }
+    }
+    for c in &candidates {
+        if differ(c) {
+            return Some(c.clone());
+        }
+    }
+    // Seeded random sweep with growing universes.
+    let signature = a.signature().clone();
+    let mut rng = StdRng::seed_from_u64(0xD15C_0517);
+    for universe in 1..=8usize {
+        for _ in 0..200 {
+            let density = rng.gen_range(0.1..0.8);
+            let mut s = Structure::new(signature.clone(), universe);
+            for (rel, _, arity) in signature.iter() {
+                let cells = universe.pow(arity as u32).min(256);
+                let mut tuple = vec![0u32; arity];
+                for _ in 0..cells {
+                    for t in tuple.iter_mut() {
+                        *t = rng.gen_range(0..universe as u32);
+                    }
+                    if rng.gen_bool(density) {
+                        s.add_tuple(rel, &tuple);
+                    }
+                }
+            }
+            if differ(&s) {
+                return Some(s);
+            }
+        }
+    }
+    None
+}
+
+/// Lemma 5.12 by its inductive proof: builds one structure `C` with
+/// every pp-formula satisfiable and all representatives' counts pairwise
+/// distinct, by combining pairwise separators with exact-arithmetic
+/// product amplification.
+///
+/// # Panics
+/// Panics if two representatives are semi-counting equivalent.
+pub fn amplified_distinguishing_structure(representatives: &[&PpFormula]) -> Structure {
+    for (i, a) in representatives.iter().enumerate() {
+        for b in &representatives[i + 1..] {
+            assert!(
+                !semi_counting_equivalent(a, b),
+                "representatives must be pairwise non-semi-counting-equivalent"
+            );
+        }
+    }
+    let signature = match representatives.first() {
+        None => return ops::one_point(epq_structures::Signature::new()),
+        Some(r) => r.signature().clone(),
+    };
+    // Base case: the one-point padding of the empty structure satisfies
+    // everything; with 0 or 1 representatives we are done.
+    let mut current = ops::one_point(signature);
+    if representatives.len() <= 1 {
+        return current;
+    }
+    for n in 1..representatives.len() {
+        current = extend_distinguisher(&current, &representatives[..n], representatives[n]);
+    }
+    current
+}
+
+/// One induction step: `d` distinguishes `settled`; extend to also
+/// distinguish `next`.
+fn extend_distinguisher(
+    d: &Structure,
+    settled: &[&PpFormula],
+    next: &PpFormula,
+) -> Structure {
+    let count_next = count_pp_brute(next, d);
+    let counts: Vec<Natural> =
+        settled.iter().map(|f| count_pp_brute(f, d)).collect();
+    debug_assert!(counts.iter().all(|c| !c.is_zero()));
+    debug_assert!(!count_next.is_zero());
+    let tied = counts.iter().position(|c| *c == count_next);
+    let Some(tied) = tied else {
+        return d.clone(); // already distinct from everyone
+    };
+    // D′ separates `next` from the tied representative; both counts on D′
+    // are positive and distinct (Lemma 5.13's guarantee).
+    let d_prime = separating_structure(settled[tied], next);
+    // The D′-factor of any formula is at most M = |D′|^s (s = |lib|).
+    let s = next.liberal_count() as u32;
+    let m = Natural::from(d_prime.universe_size()).pow(s);
+    // Choose ℓ so that for every pair x < y among the D-counts,
+    // x^ℓ · M < y^ℓ. Then the D-part gaps dominate any D′ factor.
+    let mut all_counts = counts.clone();
+    all_counts.push(count_next);
+    all_counts.sort();
+    all_counts.dedup();
+    let mut l = 1u32;
+    loop {
+        let separated = all_counts.windows(2).all(|w| {
+            let low = w[0].pow(l);
+            let high = w[1].pow(l);
+            &low * &m < high
+        });
+        if separated {
+            break;
+        }
+        l += 1;
+        assert!(l <= 64, "amplification exponent runaway (counts too close?)");
+    }
+    // The construction materializes D^ℓ × D′ — existence proofs are free,
+    // structures are not. Guard against an infeasible blow-up; callers in
+    // that regime should use the randomized search
+    // (`crate::oracle::find_distinguishing_structure`) instead.
+    let blow_up_size = (d.universe_size() as f64).powi(l as i32)
+        * d_prime.universe_size() as f64;
+    assert!(
+        blow_up_size <= 250_000.0,
+        "Lemma 5.12 amplification would materialize {blow_up_size:.0} elements; \
+         use oracle::find_distinguishing_structure for this instance"
+    );
+    ops::direct_product(&ops::power(d, l as usize), &d_prime)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::is_distinguishing;
+    use epq_logic::parser::parse_query;
+    use epq_structures::Signature;
+
+    fn pp(text: &str) -> PpFormula {
+        let sig = Signature::from_symbols([("E", 2)]);
+        PpFormula::from_query(&parse_query(text).unwrap(), &sig).unwrap()
+    }
+
+    #[test]
+    fn separator_for_edge_vs_looped_edge() {
+        let a = pp("E(x,y)");
+        let b = pp("E(x,y) & E(y,y)");
+        let s = separating_structure(&a, &b);
+        let ca = count_pp_brute(&a, &s);
+        let cb = count_pp_brute(&b, &s);
+        assert!(!ca.is_zero() && !cb.is_zero() && ca != cb);
+    }
+
+    #[test]
+    fn separator_for_different_quantified_shapes() {
+        let a = pp("(x) := exists u . E(x,u)");
+        let b = pp("(x) := exists u . E(u,x)");
+        let s = separating_structure(&a, &b);
+        assert_ne!(count_pp_brute(&a, &s), count_pp_brute(&b, &s));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-semi-counting-equivalent")]
+    fn separator_rejects_equivalent_pair() {
+        let a = pp("E(x,y)");
+        let b = pp("E(y,x)"); // counting equivalent by renaming
+        let _ = separating_structure(&a, &b);
+    }
+
+    #[test]
+    fn amplified_distinguisher_on_three_formulas() {
+        let f1 = pp("E(x,y)");
+        let f2 = pp("E(x,y) & E(y,y)");
+        let f3 = pp("E(x,y) & E(y,x)");
+        let c = amplified_distinguishing_structure(&[&f1, &f2, &f3]);
+        assert!(is_distinguishing(&c, &[&f1, &f2, &f3]));
+    }
+
+    #[test]
+    fn amplified_distinguisher_matches_lemma_for_pairs() {
+        let f1 = pp("(x, y) := E(x,y) & E(y,x)");
+        let f2 = pp("(x, y) := E(x,x) & E(y,y)");
+        let c = amplified_distinguishing_structure(&[&f1, &f2]);
+        assert!(is_distinguishing(&c, &[&f1, &f2]));
+    }
+
+    #[test]
+    fn amplified_distinguisher_trivial_cases() {
+        let c0 = amplified_distinguishing_structure(&[]);
+        assert_eq!(c0.universe_size(), 1);
+        let f = pp("E(x,y)");
+        let c1 = amplified_distinguishing_structure(&[&f]);
+        assert!(!count_pp_brute(&f, &c1).is_zero());
+    }
+
+    #[test]
+    fn amplified_structure_keeps_every_formula_satisfiable() {
+        let f1 = pp("E(x,y)");
+        let f2 = pp("E(x,y) & E(y,y)");
+        let c = amplified_distinguishing_structure(&[&f1, &f2]);
+        // Unrelated formulas must also be satisfiable (Lemma 5.12's first
+        // condition) — the one-point padding survives products.
+        let probe = pp("E(a,b) & E(b,c) & E(c,a)");
+        assert!(!count_pp_brute(&probe, &c).is_zero());
+    }
+}
+
+#[cfg(test)]
+mod end_to_end {
+    use super::*;
+    use epq_bigint::linalg::solve_transposed_vandermonde;
+    use epq_bigint::{Integer, Rational};
+    use epq_logic::parser::parse_query;
+    use epq_structures::Signature;
+
+    #[test]
+    fn vandermonde_recovery_with_amplified_structure() {
+        // Two inequivalent formulas, signed sum, recover the two counts
+        // from sums on B × C^ℓ with the deterministic C.
+        let sig = Signature::from_symbols([("E", 2)]);
+        let f1 = PpFormula::from_query(&parse_query("E(x,y)").unwrap(), &sig).unwrap();
+        let f2 =
+            PpFormula::from_query(&parse_query("(x, y) := E(x,y) & E(y,y)").unwrap(), &sig)
+                .unwrap();
+        let c = amplified_distinguishing_structure(&[&f1, &f2]);
+        let mut b = Structure::new(sig, 3);
+        for (u, v) in [(0, 1), (1, 1), (1, 2)] {
+            b.add_tuple_named("E", &[u, v]);
+        }
+        // "Oracle": w1·|f1(D)| + w2·|f2(D)| with secret weights 1 and 1.
+        let oracle = |d: &Structure| {
+            count_pp_brute(&f1, d) + count_pp_brute(&f2, d)
+        };
+        let xs = vec![
+            Rational::from(Integer::from(count_pp_brute(&f1, &c))),
+            Rational::from(Integer::from(count_pp_brute(&f2, &c))),
+        ];
+        let ys: Vec<Rational> = (0..2)
+            .map(|l| {
+                let d = ops::direct_product(&b, &ops::power(&c, l));
+                Rational::from(Integer::from(oracle(&d)))
+            })
+            .collect();
+        let w = solve_transposed_vandermonde(&xs, &ys).unwrap();
+        assert_eq!(
+            w[0].to_integer().unwrap().into_magnitude(),
+            count_pp_brute(&f1, &b)
+        );
+        assert_eq!(
+            w[1].to_integer().unwrap().into_magnitude(),
+            count_pp_brute(&f2, &b)
+        );
+    }
+}

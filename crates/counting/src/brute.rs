@@ -1,0 +1,209 @@
+//! Brute-force counting by assignment enumeration (ground truth).
+
+use epq_bigint::Natural;
+use epq_logic::{PpFormula, Query, Var};
+use epq_structures::Structure;
+use std::collections::HashMap;
+
+/// Counts `|φ(B)|` for an arbitrary ep-query by enumerating all
+/// `|B|^|lib(φ)|` assignments and evaluating the formula directly
+/// (existential quantifiers scan the universe recursively).
+///
+/// Exponential — the reference implementation everything else is checked
+/// against.
+pub fn count_ep_brute(query: &Query, b: &Structure) -> Natural {
+    let liberal = query.liberal();
+    let mut count = Natural::zero();
+    let one = Natural::one();
+    for_each_assignment(b.universe_size(), liberal.len(), &mut |values| {
+        let env: HashMap<Var, u32> = liberal
+            .iter()
+            .cloned()
+            .zip(values.iter().copied())
+            .collect();
+        if query.formula().satisfied_by(b, &env) {
+            count += &one;
+        }
+    });
+    count
+}
+
+/// Counts `|φ(B)|` for a pp-formula by enumerating liberal assignments and
+/// testing homomorphism extension (the Chandra–Merlin criterion).
+pub fn count_pp_brute(pp: &PpFormula, b: &Structure) -> Natural {
+    let mut count = Natural::zero();
+    let one = Natural::one();
+    for_each_assignment(b.universe_size(), pp.liberal_count(), &mut |values| {
+        if pp.satisfied_by(b, values) {
+            count += &one;
+        }
+    });
+    count
+}
+
+/// Counts the union of disjunct answer sets by enumeration: an assignment
+/// is counted once if *some* disjunct accepts it. All disjuncts must share
+/// the same liberal variable set (the disjunctive-form invariant).
+pub fn count_disjuncts_brute(disjuncts: &[PpFormula], b: &Structure) -> Natural {
+    if disjuncts.is_empty() {
+        return Natural::zero();
+    }
+    let s = disjuncts[0].liberal_count();
+    for d in disjuncts {
+        assert_eq!(
+            d.liberal_names(),
+            disjuncts[0].liberal_names(),
+            "disjuncts must share the liberal variable set"
+        );
+    }
+    let mut count = Natural::zero();
+    let one = Natural::one();
+    for_each_assignment(b.universe_size(), s, &mut |values| {
+        if disjuncts.iter().any(|d| d.satisfied_by(b, values)) {
+            count += &one;
+        }
+    });
+    count
+}
+
+/// Calls `visit` on every tuple in `{0..domain}^arity` (a single empty
+/// tuple for arity 0).
+pub fn for_each_assignment(domain: usize, arity: usize, visit: &mut impl FnMut(&[u32])) {
+    let mut values = vec![0u32; arity];
+    if arity == 0 {
+        visit(&values);
+        return;
+    }
+    if domain == 0 {
+        return;
+    }
+    loop {
+        visit(&values);
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            values[i] += 1;
+            if (values[i] as usize) < domain {
+                break;
+            }
+            values[i] = 0;
+            i += 1;
+            if i == arity {
+                return;
+            }
+        }
+    }
+}
+
+/// Convenience: count an ep-formula given as text against `b`.
+///
+/// Panics on parse/validation errors — intended for tests and examples.
+pub fn count_text(query_text: &str, b: &Structure) -> Natural {
+    let q = epq_logic::parser::parse_query(query_text).expect("query parses");
+    epq_logic::query::check_against_signature(q.formula(), b.signature())
+        .expect("query matches structure signature");
+    count_ep_brute(&q, b)
+}
+
+/// `|B|^k` as a [`Natural`] — the maximum possible count over `k` liberal
+/// variables, used by the sentence-disjunct logic of Theorem 3.1's proof.
+pub fn universe_power(b: &Structure, k: usize) -> Natural {
+    Natural::from(b.universe_size()).pow(k as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epq_logic::parser::parse_query;
+    use epq_logic::query::infer_signature;
+    use epq_structures::Signature;
+
+    fn example_c() -> Structure {
+        let sig = Signature::from_symbols([("E", 2)]);
+        let mut s = Structure::new(sig, 4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 3)] {
+            s.add_tuple_named("E", &[u, v]);
+        }
+        s
+    }
+
+    fn pp_of(text: &str) -> PpFormula {
+        let q = parse_query(text).unwrap();
+        let sig = infer_signature([q.formula()]).unwrap();
+        PpFormula::from_query(&q, &sig).unwrap()
+    }
+
+    #[test]
+    fn assignment_enumeration_covers_cube() {
+        let mut seen = Vec::new();
+        for_each_assignment(3, 2, &mut |v| seen.push(v.to_vec()));
+        assert_eq!(seen.len(), 9);
+        assert!(seen.contains(&vec![2, 2]));
+        // Arity 0: one empty assignment.
+        let mut count = 0;
+        for_each_assignment(5, 0, &mut |_| count += 1);
+        assert_eq!(count, 1);
+        // Empty domain, positive arity: nothing.
+        let mut count = 0;
+        for_each_assignment(0, 2, &mut |_| count += 1);
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn ep_and_pp_brute_agree_on_pp_queries() {
+        let b = example_c();
+        for text in [
+            "E(x,y)",
+            "(x,y,z) := E(x,y)",
+            "(x) := exists u . E(x,u) & E(u,u)",
+            "E(x,y) & E(y,z)",
+            "E(x,x)",
+        ] {
+            let q = parse_query(text).unwrap();
+            let pp = pp_of(text);
+            assert_eq!(
+                count_ep_brute(&q, &b),
+                count_pp_brute(&pp, &b),
+                "query {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn example_2_1_union_counts() {
+        // φ(x,y,z) = E(x,y) ∨ S(y,z) vs the liberal-variable pitfall.
+        let sig = Signature::from_symbols([("E", 2), ("S", 2)]);
+        let mut b = Structure::new(sig, 2);
+        b.add_tuple_named("E", &[0, 1]);
+        b.add_tuple_named("S", &[1, 0]);
+        // |φ(B)|: assignments (x,y,z) with E(x,y) (2 of them: z free) or
+        // S(y,z) (2: x free); overlap when E(x,y) ∧ S(y,z) = (0,1,0): 1.
+        assert_eq!(count_text("(x,y,z) := E(x,y) | S(y,z)", &b).to_u64(), Some(3));
+    }
+
+    #[test]
+    fn counting_disjuncts_matches_formula_union() {
+        let text = "(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))";
+        let q = parse_query(text).unwrap();
+        let sig = infer_signature([q.formula()]).unwrap();
+        let ds = epq_logic::dnf::disjuncts(&q, &sig).unwrap();
+        let b = example_c();
+        assert_eq!(count_disjuncts_brute(&ds, &b), count_ep_brute(&q, &b));
+    }
+
+    #[test]
+    fn sentence_counts_are_zero_or_one() {
+        let b = example_c();
+        assert_eq!(count_text("exists a . E(a,a)", &b).to_u64(), Some(1));
+        let sig = Signature::from_symbols([("E", 2)]);
+        let edgeless = Structure::new(sig, 3);
+        assert_eq!(count_text("exists a . E(a,a)", &edgeless).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn universe_power_matches() {
+        let b = example_c();
+        assert_eq!(universe_power(&b, 3).to_u64(), Some(64));
+        assert_eq!(universe_power(&b, 0).to_u64(), Some(1));
+    }
+}

@@ -1,0 +1,392 @@
+//! Counting CSP solutions by dynamic programming over nice tree
+//! decompositions, with pinning.
+//!
+//! This one dynamic program serves both counting algorithms the paper
+//! builds on:
+//!
+//! * constraints taken from the atoms of a quantifier-free pp-formula give
+//!   the Dalmau–Jonsson `#Hom` algorithm (the \[DJ04\] dichotomy's positive
+//!   side);
+//! * constraints combining liberal atoms with the derived ∃-component
+//!   boundary relations give the counting stage of the \[CM15\] FPT
+//!   algorithm (see [`crate::fpt`]).
+//!
+//! The table at a node maps assignments of the node's bag to the number of
+//! extensions over the forgotten variables; introduce nodes filter against
+//! every constraint that fits in the bag and mentions the new variable,
+//! forget nodes sum out, join nodes multiply matching entries.
+
+use epq_bigint::Natural;
+use epq_graph::{treewidth, Graph, NiceNode, NiceTreeDecomposition};
+use epq_structures::Structure;
+use std::collections::{HashMap, HashSet};
+
+/// One constraint: an ordered scope of distinct variables and the set of
+/// allowed value tuples.
+#[derive(Clone, Debug)]
+pub struct CspConstraint {
+    /// Distinct variable indices.
+    pub scope: Vec<u32>,
+    /// Allowed assignments to the scope (in scope order).
+    pub allowed: HashSet<Vec<u32>>,
+}
+
+impl CspConstraint {
+    /// Builds a constraint; deduplicates nothing, asserts distinct scope.
+    pub fn new(scope: Vec<u32>, allowed: HashSet<Vec<u32>>) -> Self {
+        let mut sorted = scope.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), scope.len(), "constraint scope must be distinct");
+        CspConstraint { scope, allowed }
+    }
+}
+
+/// A prepared counting solver over a nice tree decomposition of the
+/// constraint network's primal graph. Reusable across different pin sets
+/// (the FPT algorithm's boundary enumeration relies on this).
+pub struct TdCounter {
+    variables: usize,
+    domain: usize,
+    constraints: Vec<CspConstraint>,
+    nice: NiceTreeDecomposition,
+    /// checks[node] = constraints verified at that introduce node.
+    checks: Vec<Vec<usize>>,
+}
+
+impl TdCounter {
+    /// Prepares the solver: builds the primal graph, a (small-exact /
+    /// heuristic) tree decomposition, its nice form, and the constraint
+    /// placement.
+    pub fn new(variables: usize, domain: usize, constraints: Vec<CspConstraint>) -> Self {
+        let mut primal = Graph::new(variables);
+        for c in &constraints {
+            for (i, &a) in c.scope.iter().enumerate() {
+                for &b in &c.scope[i + 1..] {
+                    primal.add_edge(a, b);
+                }
+            }
+        }
+        let td = treewidth::best_decomposition(&primal);
+        let nice = NiceTreeDecomposition::from_tree_decomposition(&td);
+        let mut checks = vec![Vec::new(); nice.len()];
+        for (node_index, node) in nice.nodes().iter().enumerate() {
+            if let NiceNode::Introduce { vertex, .. } = node {
+                let bag = nice.bag(node_index);
+                for (ci, c) in constraints.iter().enumerate() {
+                    if c.scope.contains(vertex) && c.scope.iter().all(|v| bag.contains(v)) {
+                        checks[node_index].push(ci);
+                    }
+                }
+            }
+        }
+        TdCounter { variables, domain, constraints, nice, checks }
+    }
+
+    /// The width of the decomposition in use.
+    pub fn width(&self) -> usize {
+        self.nice.width()
+    }
+
+    /// Counts satisfying assignments with the given variables pinned.
+    pub fn count(&self, pins: &[(u32, u32)]) -> Natural {
+        let mut pinned: Vec<Option<u32>> = vec![None; self.variables];
+        for &(v, x) in pins {
+            assert!((v as usize) < self.variables, "pin variable out of range");
+            assert!((x as usize) < self.domain, "pin value out of range");
+            if let Some(prev) = pinned[v as usize] {
+                if prev != x {
+                    return Natural::zero();
+                }
+            }
+            pinned[v as usize] = Some(x);
+        }
+        // tables[node]: bag assignment (sorted-bag order) → extension count.
+        let mut tables: Vec<HashMap<Vec<u32>, Natural>> =
+            Vec::with_capacity(self.nice.len());
+        for (node_index, node) in self.nice.nodes().iter().enumerate() {
+            let table = match node {
+                NiceNode::Leaf => {
+                    let mut t = HashMap::new();
+                    t.insert(Vec::new(), Natural::one());
+                    t
+                }
+                NiceNode::Introduce { vertex, child } => {
+                    let bag: Vec<u32> =
+                        self.nice.bag(node_index).iter().copied().collect();
+                    let slot = bag.iter().position(|v| v == vertex).unwrap();
+                    let child_table = &tables[*child];
+                    let candidates: Vec<u32> = match pinned[*vertex as usize] {
+                        Some(x) => vec![x],
+                        None => (0..self.domain as u32).collect(),
+                    };
+                    let mut t = HashMap::new();
+                    let mut scratch = Vec::new();
+                    for (child_key, count) in child_table {
+                        for &x in &candidates {
+                            let mut key = child_key.clone();
+                            key.insert(slot, x);
+                            let ok = self.checks[node_index].iter().all(|&ci| {
+                                let c = &self.constraints[ci];
+                                scratch.clear();
+                                scratch.extend(c.scope.iter().map(|v| {
+                                    let pos =
+                                        bag.iter().position(|b| b == v).unwrap();
+                                    key[pos]
+                                }));
+                                c.allowed.contains(&scratch)
+                            });
+                            if ok {
+                                *t.entry(key).or_insert_with(Natural::zero) += count;
+                            }
+                        }
+                    }
+                    t
+                }
+                NiceNode::Forget { vertex, child } => {
+                    let child_bag: Vec<u32> =
+                        self.nice.bag(*child).iter().copied().collect();
+                    let slot = child_bag.iter().position(|v| v == vertex).unwrap();
+                    let mut t: HashMap<Vec<u32>, Natural> = HashMap::new();
+                    for (child_key, count) in &tables[*child] {
+                        let mut key = child_key.clone();
+                        key.remove(slot);
+                        *t.entry(key).or_insert_with(Natural::zero) += count;
+                    }
+                    t
+                }
+                NiceNode::Join { left, right } => {
+                    let (small, large) = if tables[*left].len() <= tables[*right].len()
+                    {
+                        (&tables[*left], &tables[*right])
+                    } else {
+                        (&tables[*right], &tables[*left])
+                    };
+                    let mut t = HashMap::new();
+                    for (key, count) in small {
+                        if let Some(other) = large.get(key) {
+                            t.insert(key.clone(), count * other);
+                        }
+                    }
+                    t
+                }
+            };
+            tables.push(table);
+        }
+        tables[self.nice.root()]
+            .get(&Vec::new() as &Vec<u32>)
+            .cloned()
+            .unwrap_or_else(Natural::zero)
+    }
+
+    /// Whether any satisfying assignment exists under the pins.
+    pub fn satisfiable(&self, pins: &[(u32, u32)]) -> bool {
+        !self.count(pins).is_zero()
+    }
+}
+
+/// Brute-force CSP counting (test oracle).
+pub fn count_csp_brute(
+    variables: usize,
+    domain: usize,
+    constraints: &[CspConstraint],
+    pins: &[(u32, u32)],
+) -> Natural {
+    let mut count = Natural::zero();
+    let one = Natural::one();
+    crate::brute::for_each_assignment(domain, variables, &mut |values| {
+        let pins_ok = pins.iter().all(|&(v, x)| values[v as usize] == x);
+        if !pins_ok {
+            return;
+        }
+        let ok = constraints.iter().all(|c| {
+            let tuple: Vec<u32> =
+                c.scope.iter().map(|&v| values[v as usize]).collect();
+            c.allowed.contains(&tuple)
+        });
+        if ok {
+            count += &one;
+        }
+    });
+    count
+}
+
+/// Builds the atom constraints of a structure-to-structure homomorphism
+/// problem: one constraint per tuple of `a`, whose allowed set is the
+/// matching projection of the corresponding relation of `b` (repeated
+/// elements in `a`'s tuple filter `b`'s tuples).
+pub fn hom_constraints(a: &Structure, b: &Structure) -> Vec<CspConstraint> {
+    assert_eq!(a.signature(), b.signature(), "hom constraints need equal signatures");
+    let mut out = Vec::new();
+    for (rel, _, _) in a.signature().iter() {
+        for atom in a.relation(rel).tuples() {
+            // Distinct scope in order of first occurrence.
+            let mut scope: Vec<u32> = Vec::new();
+            for &e in atom {
+                if !scope.contains(&e) {
+                    scope.push(e);
+                }
+            }
+            let positions: Vec<usize> = scope
+                .iter()
+                .map(|v| atom.iter().position(|e| e == v).unwrap())
+                .collect();
+            let mut allowed = HashSet::new();
+            'tuples: for t in b.relation(rel).tuples() {
+                for (i, &e) in atom.iter().enumerate() {
+                    let first = atom.iter().position(|x| *x == e).unwrap();
+                    if t[i] != t[first] {
+                        continue 'tuples;
+                    }
+                }
+                allowed.insert(positions.iter().map(|&i| t[i]).collect());
+            }
+            out.push(CspConstraint::new(scope, allowed));
+        }
+    }
+    out
+}
+
+/// Counts homomorphisms `a → b` by the tree-decomposition DP
+/// (the Dalmau–Jonsson algorithm when `a`'s Gaifman graph has bounded
+/// treewidth). Exact for every input; efficient when the treewidth is
+/// small.
+pub fn count_homs_td(a: &Structure, b: &Structure) -> Natural {
+    TdCounter::new(a.universe_size(), b.universe_size(), hom_constraints(a, b)).count(&[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epq_structures::hom::count_homomorphisms;
+    use epq_structures::Signature;
+
+    fn digraph(n: usize, edges: &[(u32, u32)]) -> Structure {
+        let sig = Signature::from_symbols([("E", 2)]);
+        let mut s = Structure::new(sig, n);
+        for &(u, v) in edges {
+            s.add_tuple_named("E", &[u, v]);
+        }
+        s
+    }
+
+    fn constraint(scope: &[u32], allowed: &[&[u32]]) -> CspConstraint {
+        CspConstraint::new(
+            scope.to_vec(),
+            allowed.iter().map(|t| t.to_vec()).collect(),
+        )
+    }
+
+    #[test]
+    fn unconstrained_counting_is_domain_power() {
+        let counter = TdCounter::new(3, 4, Vec::new());
+        assert_eq!(counter.count(&[]).to_u64(), Some(64));
+        assert_eq!(counter.count(&[(0, 1)]).to_u64(), Some(16));
+        assert_eq!(counter.count(&[(0, 1), (1, 2), (2, 3)]).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn contradictory_pins_give_zero() {
+        let counter = TdCounter::new(2, 3, Vec::new());
+        assert_eq!(counter.count(&[(0, 1), (0, 2)]).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn single_constraint_counts_allowed_tuples() {
+        let c = constraint(&[0, 1], &[&[0, 1], &[1, 2], &[2, 0]]);
+        let counter = TdCounter::new(2, 3, vec![c]);
+        assert_eq!(counter.count(&[]).to_u64(), Some(3));
+        assert_eq!(counter.count(&[(0, 1)]).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn chain_csp_matches_brute_force() {
+        // A 5-variable chain of "successor mod 4" constraints.
+        let succ: Vec<Vec<u32>> = (0..4u32).map(|x| vec![x, (x + 1) % 4]).collect();
+        let allowed: HashSet<Vec<u32>> = succ.into_iter().collect();
+        let constraints: Vec<CspConstraint> = (0..4)
+            .map(|i| CspConstraint::new(vec![i, i + 1], allowed.clone()))
+            .collect();
+        let counter = TdCounter::new(5, 4, constraints.clone());
+        assert_eq!(counter.count(&[]), count_csp_brute(5, 4, &constraints, &[]));
+        assert_eq!(counter.count(&[]).to_u64(), Some(4));
+        assert_eq!(
+            counter.count(&[(2, 3)]),
+            count_csp_brute(5, 4, &constraints, &[(2, 3)])
+        );
+    }
+
+    #[test]
+    fn cyclic_csp_needs_join_nodes() {
+        // Triangle of difference constraints with domain 3: proper
+        // 3-colorings of K3 = 6.
+        let diff: HashSet<Vec<u32>> = (0..3u32)
+            .flat_map(|a| (0..3u32).filter(move |&b| a != b).map(move |b| vec![a, b]))
+            .collect();
+        let constraints = vec![
+            CspConstraint::new(vec![0, 1], diff.clone()),
+            CspConstraint::new(vec![1, 2], diff.clone()),
+            CspConstraint::new(vec![0, 2], diff.clone()),
+        ];
+        let counter = TdCounter::new(3, 3, constraints.clone());
+        assert_eq!(counter.count(&[]).to_u64(), Some(6));
+        assert_eq!(counter.count(&[]), count_csp_brute(3, 3, &constraints, &[]));
+    }
+
+    #[test]
+    fn hom_dp_matches_backtracking_counts() {
+        let c4 = digraph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let k3 = digraph(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]);
+        let p4 = digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        for (a, b) in [(&p4, &k3), (&c4, &k3), (&p4, &c4), (&c4, &c4)] {
+            assert_eq!(count_homs_td(a, b), count_homomorphisms(a, b));
+        }
+    }
+
+    #[test]
+    fn hom_dp_handles_repeated_elements() {
+        // Loop atom E(x,x): homs into C with one loop = 1.
+        let loop_a = digraph(1, &[(0, 0)]);
+        let c = digraph(4, &[(0, 1), (1, 2), (2, 3), (3, 3)]);
+        assert_eq!(count_homs_td(&loop_a, &c).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn hom_dp_with_isolated_vertices() {
+        // Edge + 2 isolated vertices into a 2-cycle: 2 · 2² = 8.
+        let a = digraph(4, &[(0, 1)]);
+        let b = digraph(2, &[(0, 1), (1, 0)]);
+        assert_eq!(count_homs_td(&a, &b).to_u64(), Some(8));
+    }
+
+    #[test]
+    fn grid_hom_counts_match_backtracking() {
+        // 2×3 grid pattern (treewidth 2) into K3 — exercises join nodes.
+        let mut a = digraph(6, &[]);
+        let grid_edges = [(0, 1), (1, 2), (3, 4), (4, 5), (0, 3), (1, 4), (2, 5)];
+        for (u, v) in grid_edges {
+            a.add_tuple_named("E", &[u, v]);
+        }
+        let k3 = digraph(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]);
+        assert_eq!(count_homs_td(&a, &k3), count_homomorphisms(&a, &k3));
+    }
+
+    #[test]
+    fn empty_domain() {
+        let counter = TdCounter::new(2, 0, Vec::new());
+        assert_eq!(counter.count(&[]).to_u64(), Some(0));
+        let trivial = TdCounter::new(0, 0, Vec::new());
+        assert_eq!(trivial.count(&[]).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn width_is_reported() {
+        let diff: HashSet<Vec<u32>> = HashSet::new();
+        let constraints = vec![
+            CspConstraint::new(vec![0, 1], diff.clone()),
+            CspConstraint::new(vec![1, 2], diff),
+        ];
+        let counter = TdCounter::new(3, 2, constraints);
+        assert_eq!(counter.width(), 1);
+    }
+}

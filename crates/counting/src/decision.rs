@@ -1,0 +1,176 @@
+//! Decision problems: answer existence and model checking.
+//!
+//! The paper situates counting as a generalization of *model checking*
+//! ("given a sentence, decide if the number of answers is 1 or 0",
+//! Section 1.1), and its case-2 regime is precisely where counting
+//! collapses to decision-flavoured information. This module provides the
+//! decision side:
+//!
+//! * [`has_answer`] — does `φ(B)` have at least one answer?
+//! * [`model_check`] — truth of an ep-*query* under the empty assignment
+//!   policy (true iff some answer exists; for sentences this is the
+//!   classical `B ⊨ φ`);
+//! * [`find_answer`] — produce a witness answer, if any.
+//!
+//! For pp-formulas, answer existence is exactly homomorphism existence
+//! (Chandra–Merlin); for ep-formulas we go through the disjunctive form.
+
+use epq_logic::{dnf, PpFormula, Query};
+use epq_structures::{hom, Structure};
+use std::ops::ControlFlow;
+
+/// Whether a pp-formula has at least one answer on `b`
+/// (`|φ(B)| > 0` ⟺ a homomorphism **A** → **B** exists, with isolated
+/// liberal variables demanding a nonempty universe).
+pub fn pp_has_answer(pp: &PpFormula, b: &Structure) -> bool {
+    if pp.structure().universe_size() > 0 && b.universe_size() == 0 {
+        return false;
+    }
+    if pp.liberal_count() == 0 && pp.structure().universe_size() == 0 {
+        return true; // the empty formula: one empty answer
+    }
+    hom::homomorphism_exists(pp.structure(), b)
+}
+
+/// Whether an ep-query has at least one answer on `b`.
+pub fn has_answer(query: &Query, b: &Structure) -> Result<bool, epq_logic::query::LogicError> {
+    let ds = dnf::disjuncts(query, b.signature())?;
+    Ok(ds.iter().any(|d| pp_has_answer(d, b)))
+}
+
+/// Model checking: `B ⊨ φ` for sentences; for queries with liberal
+/// variables this is answer existence (the paper's framing of model
+/// checking as the 1-or-0 counting instance).
+pub fn model_check(query: &Query, b: &Structure) -> Result<bool, epq_logic::query::LogicError> {
+    has_answer(query, b)
+}
+
+/// Finds some answer (an assignment of the liberal variables, in
+/// liberal-name order) if one exists.
+pub fn find_answer(
+    query: &Query,
+    b: &Structure,
+) -> Result<Option<Vec<u32>>, epq_logic::query::LogicError> {
+    let ds = dnf::disjuncts(query, b.signature())?;
+    for d in ds {
+        if let Some(answer) = pp_find_answer(&d, b) {
+            return Ok(Some(answer));
+        }
+    }
+    Ok(None)
+}
+
+/// Finds some answer of a pp-formula: the restriction of any
+/// homomorphism to the liberal elements.
+pub fn pp_find_answer(pp: &PpFormula, b: &Structure) -> Option<Vec<u32>> {
+    if pp.structure().universe_size() > 0 && b.universe_size() == 0 {
+        return None;
+    }
+    let search = hom::HomSearch::new(pp.structure(), b, &[]);
+    let mut found = None;
+    search.for_each(|h| {
+        found = Some(h[..pp.liberal_count()].to_vec());
+        ControlFlow::Break(())
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epq_logic::parser::parse_query;
+    use epq_logic::query::infer_signature;
+    use epq_structures::Signature;
+
+    fn example_c() -> Structure {
+        let sig = Signature::from_symbols([("E", 2)]);
+        let mut s = Structure::new(sig, 4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 3)] {
+            s.add_tuple_named("E", &[u, v]);
+        }
+        s
+    }
+
+    fn pp_of(text: &str) -> PpFormula {
+        let q = parse_query(text).unwrap();
+        let sig = infer_signature([q.formula()]).unwrap();
+        PpFormula::from_query(&q, &sig).unwrap()
+    }
+
+    #[test]
+    fn existence_matches_counting() {
+        let b = example_c();
+        for text in [
+            "E(x,y)",
+            "E(x,x)",
+            "E(x,y) & E(y,x)",
+            "(x) := exists u . E(u,x) & E(x,u)",
+        ] {
+            let pp = pp_of(text);
+            let count = crate::brute::count_pp_brute(&pp, &b);
+            assert_eq!(pp_has_answer(&pp, &b), !count.is_zero(), "{text}");
+        }
+    }
+
+    #[test]
+    fn ep_existence_through_disjuncts() {
+        let b = example_c();
+        let q = parse_query("(x) := E(x,x) | (exists u . E(x,u) & E(u,x))").unwrap();
+        assert!(has_answer(&q, &b).unwrap());
+        let sig = Signature::from_symbols([("E", 2)]);
+        let edgeless = Structure::new(sig, 2);
+        assert!(!has_answer(&q, &edgeless).unwrap());
+    }
+
+    #[test]
+    fn model_checking_sentences() {
+        let b = example_c();
+        let yes = parse_query("exists a . E(a,a)").unwrap();
+        assert!(model_check(&yes, &b).unwrap());
+        // a = b = 3 satisfies E(a,b) ∧ E(b,a) via the self-loop — the
+        // classic non-injectivity of homomorphism semantics.
+        let loop_suffices = parse_query("exists a, b . E(a,b) & E(b,a)").unwrap();
+        assert!(model_check(&loop_suffices, &b).unwrap());
+        // On a loop-free path the same sentence is false.
+        let mut loopless = Structure::new(Signature::from_symbols([("E", 2)]), 3);
+        loopless.add_tuple_named("E", &[0, 1]);
+        loopless.add_tuple_named("E", &[1, 2]);
+        assert!(!model_check(&loop_suffices, &loopless).unwrap());
+    }
+
+    #[test]
+    fn witnesses_are_real_answers() {
+        let b = example_c();
+        let q = parse_query("(x, y) := E(x,y) & E(y,y)").unwrap();
+        let answer = find_answer(&q, &b).unwrap().unwrap();
+        // (2,3) and (3,3) are the only answers: E(x,3) with E(3,3).
+        assert!(answer == vec![2, 3] || answer == vec![3, 3], "got {answer:?}");
+        // A genuinely unsatisfiable shape on a loop-free structure.
+        let mut loopless = Structure::new(Signature::from_symbols([("E", 2)]), 3);
+        loopless.add_tuple_named("E", &[0, 1]);
+        let none = parse_query("(x) := E(x,x)").unwrap();
+        assert!(find_answer(&none, &loopless).unwrap().is_none());
+    }
+
+    #[test]
+    fn empty_universe_decisions() {
+        let sig = Signature::from_symbols([("E", 2)]);
+        let empty = Structure::new(sig, 0);
+        let q = parse_query("E(x,y)").unwrap();
+        assert!(!has_answer(&q, &empty).unwrap());
+    }
+
+    #[test]
+    fn clique_sentence_decision_matches_graph_search() {
+        use epq_graph::generators;
+        for (g, expect) in [
+            (generators::complete_graph(4), true),
+            (generators::cycle_graph(6), false),
+        ] {
+            let theta = crate::clique::clique_sentence_pp(3);
+            let b = crate::clique::graph_to_structure(&g);
+            assert_eq!(pp_has_answer(&theta, &b), expect);
+            assert_eq!(epq_graph::cliques::has_k_clique(&g, 3), expect);
+        }
+    }
+}

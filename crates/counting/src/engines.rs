@@ -1,0 +1,156 @@
+//! A common interface over the pp-counting engines, for cross-checking
+//! tests and the benchmark harness (experiment F1).
+
+use epq_bigint::Natural;
+use epq_logic::PpFormula;
+use epq_structures::Structure;
+
+/// An engine that computes `|φ(B)|` for prenex pp-formulas.
+pub trait PpCountingEngine {
+    /// A short display name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Computes `|φ(B)|`.
+    fn count(&self, pp: &PpFormula, b: &Structure) -> Natural;
+}
+
+/// Exhaustive assignment enumeration (`O(|B|^|lib|)` hom checks).
+pub struct BruteForceEngine;
+
+impl PpCountingEngine for BruteForceEngine {
+    fn name(&self) -> &'static str {
+        "brute-force"
+    }
+
+    fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
+        crate::brute::count_pp_brute(pp, b)
+    }
+}
+
+/// The relational-algebra engine (scan/join/project, per component).
+pub struct RelalgEngine;
+
+impl PpCountingEngine for RelalgEngine {
+    fn name(&self) -> &'static str {
+        "relalg"
+    }
+
+    fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
+        epq_relalg::count_pp(pp, b)
+    }
+}
+
+/// The `#Hom` tree-decomposition dynamic program (Dalmau–Jonsson).
+///
+/// Directly applicable to quantifier-free formulas, where
+/// `|φ(B)| = #Hom(A, B) · |B|^(#isolated liberal variables not in atoms)`
+/// — which the DP handles natively because isolated liberal variables are
+/// unconstrained CSP variables. Quantified formulas delegate to the FPT
+/// algorithm (homomorphism counts do not project).
+pub struct HomDpEngine;
+
+impl PpCountingEngine for HomDpEngine {
+    fn name(&self) -> &'static str {
+        "hom-dp"
+    }
+
+    fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
+        if pp.quantified_names().is_empty() {
+            crate::csp::count_homs_td(pp.structure(), b)
+        } else {
+            crate::fpt::count_pp_fpt(pp, b)
+        }
+    }
+}
+
+/// The full FPT algorithm (\[CM15\]; see [`crate::fpt`]).
+pub struct FptEngine;
+
+impl PpCountingEngine for FptEngine {
+    fn name(&self) -> &'static str {
+        "fpt"
+    }
+
+    fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
+        crate::fpt::count_pp_fpt(pp, b)
+    }
+}
+
+/// All engines, for cross-checking loops.
+pub fn all_engines() -> Vec<Box<dyn PpCountingEngine>> {
+    vec![
+        Box::new(BruteForceEngine),
+        Box::new(RelalgEngine),
+        Box::new(HomDpEngine),
+        Box::new(FptEngine),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epq_logic::parser::parse_query;
+    use epq_logic::query::infer_signature;
+    use epq_structures::Signature;
+
+    fn pp_of(text: &str) -> PpFormula {
+        let q = parse_query(text).unwrap();
+        let sig = infer_signature([q.formula()]).unwrap();
+        PpFormula::from_query(&q, &sig).unwrap()
+    }
+
+    fn structures() -> Vec<Structure> {
+        let sig = Signature::from_symbols([("E", 2)]);
+        let mut c = Structure::new(sig.clone(), 4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 3)] {
+            c.add_tuple_named("E", &[u, v]);
+        }
+        let mut dense = Structure::new(sig.clone(), 5);
+        for u in 0..5u32 {
+            for v in 0..5u32 {
+                if (u + 2 * v) % 3 == 0 {
+                    dense.add_tuple_named("E", &[u, v]);
+                }
+            }
+        }
+        let empty = Structure::new(sig, 3);
+        vec![c, dense, empty]
+    }
+
+    #[test]
+    fn all_engines_agree_across_queries_and_structures() {
+        let queries = [
+            "E(x,y)",
+            "(x,y,z) := E(x,y)",
+            "E(x,y) & E(y,z)",
+            "E(x,x)",
+            "(x) := exists u . E(x,u)",
+            "(x,y) := exists u . E(x,u) & E(y,u)",
+            "(x) := exists u, v . E(x,u) & E(u,v)",
+        ];
+        let engines = all_engines();
+        for b in structures() {
+            for q in queries {
+                let pp = pp_of(q);
+                let reference = engines[0].count(&pp, &b);
+                for e in &engines[1..] {
+                    assert_eq!(
+                        e.count(&pp, &b),
+                        reference,
+                        "engine {} disagrees on {q}",
+                        e.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_distinct() {
+        let names: Vec<&str> = all_engines().iter().map(|e| e.name()).collect();
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(names.len(), deduped.len());
+    }
+}

@@ -1,0 +1,312 @@
+//! Clique decision, counting, and maximum clique.
+//!
+//! `Clique` and `#Clique` are the hardness anchors of the paper's trichotomy
+//! (Section 2.2): case (2) problems are interreducible with the clique
+//! decision problem, case (3) problems are at least as hard as counting
+//! cliques. The benchmark harness uses these direct graph algorithms as the
+//! baseline that query-based counting is compared against.
+//!
+//! The implementations use a degeneracy ordering plus per-vertex bitsets:
+//! for each vertex `v` taken in degeneracy order, cliques containing `v` as
+//! their order-minimum are enumerated inside `v`'s forward neighborhood,
+//! which has size at most the degeneracy.
+
+use crate::graph::Graph;
+
+/// Fixed-size bitset over graph vertices.
+#[derive(Clone)]
+struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    fn new(n: usize) -> Self {
+        Bitset { words: vec![0; n.div_ceil(64)] }
+    }
+
+    fn insert(&mut self, v: u32) {
+        self.words[v as usize / 64] |= 1 << (v % 64);
+    }
+
+    fn intersect_with(&mut self, other: &Bitset) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.words.iter().enumerate().flat_map(|(i, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros();
+                    w &= w - 1;
+                    Some(i as u32 * 64 + b)
+                }
+            })
+        })
+    }
+}
+
+fn adjacency_bitsets(g: &Graph) -> Vec<Bitset> {
+    let n = g.vertex_count();
+    let mut rows = vec![Bitset::new(n); n];
+    for (u, v) in g.edges() {
+        rows[u as usize].insert(v);
+        rows[v as usize].insert(u);
+    }
+    rows
+}
+
+/// Counts the k-cliques of `g` exactly.
+///
+/// Runs in `O(n · d^(k-1))` where `d` is the degeneracy; counts fit `u128`
+/// for every graph this workspace can hold in memory.
+pub fn count_k_cliques(g: &Graph, k: usize) -> u128 {
+    if k == 0 {
+        return 1; // the empty clique
+    }
+    if k == 1 {
+        return g.vertex_count() as u128;
+    }
+    let adj = adjacency_bitsets(g);
+    let (order, _) = g.degeneracy_ordering();
+    let mut rank = vec![0usize; g.vertex_count()];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    let mut total = 0u128;
+    for &v in &order {
+        // Forward neighborhood of v in degeneracy order.
+        let mut candidates = Bitset::new(g.vertex_count());
+        for w in adj[v as usize].iter() {
+            if rank[w as usize] > rank[v as usize] {
+                candidates.insert(w);
+            }
+        }
+        total += count_cliques_within(&adj, &candidates, k - 1);
+    }
+    total
+}
+
+/// Counts cliques of size `k` fully inside `candidates` (all pairwise
+/// adjacency still needs checking — `candidates` is just the allowed pool).
+fn count_cliques_within(adj: &[Bitset], candidates: &Bitset, k: usize) -> u128 {
+    if k == 0 {
+        return 1;
+    }
+    if candidates.count() < k {
+        return 0;
+    }
+    if k == 1 {
+        return candidates.count() as u128;
+    }
+    let mut total = 0u128;
+    for v in candidates.iter() {
+        let mut next = candidates.clone();
+        next.intersect_with(&adj[v as usize]);
+        // Restrict to vertices after v to avoid double counting: clear bits ≤ v.
+        clear_up_to(&mut next, v);
+        total += count_cliques_within(adj, &next, k - 1);
+    }
+    total
+}
+
+fn clear_up_to(bs: &mut Bitset, v: u32) {
+    let word = v as usize / 64;
+    for w in bs.words.iter_mut().take(word) {
+        *w = 0;
+    }
+    let keep_from = v % 64 + 1;
+    if keep_from == 64 {
+        bs.words[word] = 0;
+    } else {
+        bs.words[word] &= !((1u64 << keep_from) - 1);
+    }
+}
+
+/// Decides whether `g` has a clique of size `k`.
+pub fn has_k_clique(g: &Graph, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    if k == 1 {
+        return g.vertex_count() > 0;
+    }
+    let adj = adjacency_bitsets(g);
+    let (order, degeneracy) = g.degeneracy_ordering();
+    if k > degeneracy + 1 {
+        return false; // a k-clique forces degeneracy ≥ k−1
+    }
+    let mut rank = vec![0usize; g.vertex_count()];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    for &v in &order {
+        let mut candidates = Bitset::new(g.vertex_count());
+        for w in adj[v as usize].iter() {
+            if rank[w as usize] > rank[v as usize] {
+                candidates.insert(w);
+            }
+        }
+        if exists_clique_within(&adj, &candidates, k - 1) {
+            return true;
+        }
+    }
+    false
+}
+
+fn exists_clique_within(adj: &[Bitset], candidates: &Bitset, k: usize) -> bool {
+    if k == 0 {
+        return true;
+    }
+    if candidates.count() < k {
+        return false;
+    }
+    if k == 1 {
+        return true;
+    }
+    for v in candidates.iter() {
+        let mut next = candidates.clone();
+        next.intersect_with(&adj[v as usize]);
+        clear_up_to(&mut next, v);
+        if exists_clique_within(adj, &next, k - 1) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Finds a maximum clique (returned as a sorted vertex list) by
+/// branch-and-bound over the degeneracy ordering.
+pub fn max_clique(g: &Graph) -> Vec<u32> {
+    let n = g.vertex_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let adj = adjacency_bitsets(g);
+    let (order, _) = g.degeneracy_ordering();
+    let mut rank = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        rank[v as usize] = i;
+    }
+    let mut best: Vec<u32> = Vec::new();
+    let mut current: Vec<u32> = Vec::new();
+    for &v in &order {
+        let mut candidates = Bitset::new(n);
+        for w in adj[v as usize].iter() {
+            if rank[w as usize] > rank[v as usize] {
+                candidates.insert(w);
+            }
+        }
+        current.push(v);
+        extend_max_clique(&adj, &candidates, &mut current, &mut best);
+        current.pop();
+    }
+    best.sort_unstable();
+    best
+}
+
+fn extend_max_clique(
+    adj: &[Bitset],
+    candidates: &Bitset,
+    current: &mut Vec<u32>,
+    best: &mut Vec<u32>,
+) {
+    if current.len() > best.len() {
+        *best = current.clone();
+    }
+    if current.len() + candidates.count() <= best.len() {
+        return; // bound
+    }
+    for v in candidates.iter() {
+        let mut next = candidates.clone();
+        next.intersect_with(&adj[v as usize]);
+        clear_up_to(&mut next, v);
+        current.push(v);
+        extend_max_clique(adj, &next, current, best);
+        current.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    /// Binomial coefficient for expected clique counts.
+    fn choose(n: u128, k: u128) -> u128 {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1u128;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn complete_graph_counts_are_binomials() {
+        let g = generators::complete_graph(7);
+        for k in 0..=8 {
+            assert_eq!(count_k_cliques(&g, k), choose(7, k as u128), "k={k}");
+        }
+    }
+
+    #[test]
+    fn triangle_counts() {
+        // Two triangles sharing an edge: 0-1-2, 1-2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(count_k_cliques(&g, 3), 2);
+        assert_eq!(count_k_cliques(&g, 4), 0);
+        assert_eq!(count_k_cliques(&g, 2), 5);
+    }
+
+    #[test]
+    fn path_has_no_triangles() {
+        let g = generators::path_graph(10);
+        assert_eq!(count_k_cliques(&g, 3), 0);
+        assert!(!has_k_clique(&g, 3));
+        assert!(has_k_clique(&g, 2));
+    }
+
+    #[test]
+    fn decision_agrees_with_counting() {
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5), (2, 4)],
+        );
+        for k in 0..=6 {
+            assert_eq!(has_k_clique(&g, k), count_k_cliques(&g, k) > 0, "k={k}");
+        }
+    }
+
+    #[test]
+    fn max_clique_on_known_graphs() {
+        assert_eq!(max_clique(&generators::complete_graph(5)).len(), 5);
+        assert_eq!(max_clique(&generators::cycle_graph(5)).len(), 2);
+        assert_eq!(max_clique(&generators::path_graph(1)).len(), 1);
+        assert_eq!(max_clique(&Graph::new(0)).len(), 0);
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4)]);
+        assert_eq!(max_clique(&g), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_and_edge_cases() {
+        let g = Graph::new(3);
+        assert_eq!(count_k_cliques(&g, 0), 1);
+        assert_eq!(count_k_cliques(&g, 1), 3);
+        assert_eq!(count_k_cliques(&g, 2), 0);
+        assert!(has_k_clique(&g, 1));
+        assert!(!has_k_clique(&g, 2));
+        assert!(has_k_clique(&Graph::new(0), 0));
+        assert!(!has_k_clique(&Graph::new(0), 1));
+    }
+}

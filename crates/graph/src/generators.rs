@@ -1,0 +1,108 @@
+//! Graph generators for test and benchmark families.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// The path P_n on `n` vertices (n−1 edges). Treewidth 1 for n ≥ 2.
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 1..n {
+        g.add_edge(i as u32 - 1, i as u32);
+    }
+    g
+}
+
+/// The cycle C_n on `n ≥ 3` vertices. Treewidth 2.
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycles need at least 3 vertices");
+    let mut g = path_graph(n);
+    g.add_edge(n as u32 - 1, 0);
+    g
+}
+
+/// The complete graph K_n. Treewidth n−1.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n as u32 {
+        for j in i + 1..n as u32 {
+            g.add_edge(i, j);
+        }
+    }
+    g
+}
+
+/// The star K_{1,n}: center 0 with `n` leaves. Treewidth 1.
+pub fn star_graph(leaves: usize) -> Graph {
+    let mut g = Graph::new(leaves + 1);
+    for i in 1..=leaves as u32 {
+        g.add_edge(0, i);
+    }
+    g
+}
+
+/// The `rows × cols` grid. Treewidth min(rows, cols).
+pub fn grid_graph(rows: usize, cols: usize) -> Graph {
+    let mut g = Graph::new(rows * cols);
+    let at = |r: usize, c: usize| (r * cols + c) as u32;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                g.add_edge(at(r, c), at(r, c + 1));
+            }
+            if r + 1 < rows {
+                g.add_edge(at(r, c), at(r + 1, c));
+            }
+        }
+    }
+    g
+}
+
+/// An Erdős–Rényi random graph G(n, p).
+pub fn random_gnp<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n as u32 {
+        for j in i + 1..n as u32 {
+            if rng.gen_bool(p) {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn family_sizes() {
+        assert_eq!(path_graph(5).edge_count(), 4);
+        assert_eq!(cycle_graph(5).edge_count(), 5);
+        assert_eq!(complete_graph(5).edge_count(), 10);
+        assert_eq!(star_graph(4).edge_count(), 4);
+        assert_eq!(grid_graph(3, 4).edge_count(), 17);
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid_graph(2, 2);
+        assert!(g.has_edge(0, 1) && g.has_edge(0, 2) && g.has_edge(1, 3) && g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 3));
+    }
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(random_gnp(10, 0.0, &mut rng).edge_count(), 0);
+        assert_eq!(random_gnp(10, 1.0, &mut rng).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let g1 = random_gnp(20, 0.3, &mut StdRng::seed_from_u64(42));
+        let g2 = random_gnp(20, 0.3, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+    }
+}

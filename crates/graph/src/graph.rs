@@ -1,0 +1,241 @@
+//! A compact, simple, undirected graph.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A simple undirected graph on vertices `0..n` with sorted adjacency sets.
+///
+/// No self-loops, no multi-edges. Vertices are `u32` indices so they can be
+/// shared with the universe indices of relational structures.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    adjacency: Vec<BTreeSet<u32>>,
+}
+
+impl Graph {
+    /// An empty graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph { adjacency: vec![BTreeSet::new(); n] }
+    }
+
+    /// Builds a graph on `n` vertices from an edge list (self-loops and
+    /// duplicates are ignored).
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let mut g = Graph::new(n);
+        for &(u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn vertex_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(|a| a.len()).sum::<usize>() / 2
+    }
+
+    /// Adds the edge `{u, v}` (ignores self-loops; idempotent).
+    ///
+    /// # Panics
+    /// Panics if `u` or `v` is out of range.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        assert!((u as usize) < self.vertex_count(), "vertex {u} out of range");
+        assert!((v as usize) < self.vertex_count(), "vertex {v} out of range");
+        if u == v {
+            return;
+        }
+        self.adjacency[u as usize].insert(v);
+        self.adjacency[v as usize].insert(u);
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adjacency.get(u as usize).is_some_and(|a| a.contains(&v))
+    }
+
+    /// The sorted neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &BTreeSet<u32> {
+        &self.adjacency[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adjacency[v as usize].len()
+    }
+
+    /// Iterator over all edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adjacency
+            .iter()
+            .enumerate()
+            .flat_map(|(u, a)| a.iter().filter(move |&&v| (u as u32) < v).map(move |&v| (u as u32, v)))
+    }
+
+    /// The subgraph induced by `vertices`, together with the mapping from new
+    /// vertex index to old vertex index.
+    pub fn induced_subgraph(&self, vertices: &[u32]) -> (Graph, Vec<u32>) {
+        let mut index_of = vec![u32::MAX; self.vertex_count()];
+        for (new, &old) in vertices.iter().enumerate() {
+            index_of[old as usize] = new as u32;
+        }
+        let mut g = Graph::new(vertices.len());
+        for (new, &old) in vertices.iter().enumerate() {
+            for &w in self.neighbors(old) {
+                let wn = index_of[w as usize];
+                if wn != u32::MAX {
+                    g.add_edge(new as u32, wn);
+                }
+            }
+        }
+        (g, vertices.to_vec())
+    }
+
+    /// Connected components, each a sorted vertex list; components are
+    /// ordered by their smallest vertex.
+    pub fn connected_components(&self) -> Vec<Vec<u32>> {
+        let n = self.vertex_count();
+        let mut seen = vec![false; n];
+        let mut components = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            let mut stack = vec![start as u32];
+            seen[start] = true;
+            let mut comp = Vec::new();
+            while let Some(v) = stack.pop() {
+                comp.push(v);
+                for &w in self.neighbors(v) {
+                    if !seen[w as usize] {
+                        seen[w as usize] = true;
+                        stack.push(w);
+                    }
+                }
+            }
+            comp.sort_unstable();
+            components.push(comp);
+        }
+        components
+    }
+
+    /// Whether the graph is connected (the empty graph counts as connected).
+    pub fn is_connected(&self) -> bool {
+        self.connected_components().len() <= 1
+    }
+
+    /// Whether `vertices` forms a clique.
+    pub fn is_clique(&self, vertices: &[u32]) -> bool {
+        for (i, &u) in vertices.iter().enumerate() {
+            for &v in &vertices[i + 1..] {
+                if u != v && !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// A degeneracy ordering (repeatedly remove a minimum-degree vertex) and
+    /// the degeneracy (the maximum degree seen at removal time — a lower
+    /// bound on treewidth).
+    pub fn degeneracy_ordering(&self) -> (Vec<u32>, usize) {
+        let n = self.vertex_count();
+        let mut degree: Vec<usize> = (0..n).map(|v| self.degree(v as u32)).collect();
+        let mut removed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut degeneracy = 0;
+        for _ in 0..n {
+            let v = (0..n)
+                .filter(|&v| !removed[v])
+                .min_by_key(|&v| degree[v])
+                .expect("vertex remains");
+            degeneracy = degeneracy.max(degree[v]);
+            removed[v] = true;
+            order.push(v as u32);
+            for &w in self.neighbors(v as u32) {
+                if !removed[w as usize] {
+                    degree[w as usize] -= 1;
+                }
+            }
+        }
+        (order, degeneracy)
+    }
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Graph(n={}, edges={:?})", self.vertex_count(), self.edges().collect::<Vec<_>>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_are_symmetric_and_deduped() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(2, 2); // self-loop ignored
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]);
+        let comps = g.connected_components();
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn empty_graph_is_connected() {
+        assert!(Graph::new(0).is_connected());
+        assert!(Graph::new(1).is_connected());
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (sub, map) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(map, vec![0, 1, 3]);
+        assert_eq!(sub.edge_count(), 1); // only {0,1} survives
+        assert!(sub.has_edge(0, 1));
+    }
+
+    #[test]
+    fn clique_predicate() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (2, 3)]);
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+        assert!(g.is_clique(&[2]));
+        assert!(g.is_clique(&[]));
+    }
+
+    #[test]
+    fn degeneracy_of_known_graphs() {
+        // A tree has degeneracy 1.
+        let tree = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4)]);
+        assert_eq!(tree.degeneracy_ordering().1, 1);
+        // A cycle has degeneracy 2.
+        let cyc = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        assert_eq!(cyc.degeneracy_ordering().1, 2);
+        // K4 has degeneracy 3.
+        let k4 = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        assert_eq!(k4.degeneracy_ordering().1, 3);
+    }
+
+    #[test]
+    fn edge_iterator_is_canonical() {
+        let g = Graph::from_edges(3, &[(2, 1), (0, 2)]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 2), (1, 2)]);
+    }
+}

@@ -1,0 +1,466 @@
+//! Treewidth: exact computation, heuristic bounds, elimination orders.
+//!
+//! The trichotomy's two conditions (Section 2.4 of the paper) ask whether the
+//! treewidth of (a) the cores and (b) the contract graphs of a query set is
+//! bounded. Query graphs are *parameters* — small — so we compute treewidth
+//! **exactly** by the Bodlaender–Fomin–Koster–Kratsch–Thilikos subset dynamic
+//! program whenever a connected component has at most
+//! [`EXACT_VERTEX_LIMIT`] vertices, and fall back to a
+//! min-fill/min-degree upper bound paired with a degeneracy lower bound
+//! otherwise, reporting an explicit [`TreewidthBound::Range`].
+//!
+//! Convention: widths are reported as `usize`, with the empty graph and
+//! edgeless graphs having treewidth 0 (the mathematical −∞/0 distinction is
+//! irrelevant for the classification thresholds).
+
+use crate::decomposition::TreeDecomposition;
+use crate::graph::Graph;
+use std::collections::BTreeSet;
+
+/// Components larger than this use heuristics instead of the exact
+/// exponential DP (2^n states).
+pub const EXACT_VERTEX_LIMIT: usize = 18;
+
+/// Result of a treewidth computation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TreewidthBound {
+    /// The treewidth is known exactly.
+    Exact(usize),
+    /// Only bounds are known: `lower ≤ tw ≤ upper`.
+    Range {
+        /// Degeneracy lower bound.
+        lower: usize,
+        /// Best heuristic elimination-order upper bound.
+        upper: usize,
+    },
+}
+
+impl TreewidthBound {
+    /// The best known upper bound.
+    pub fn upper(&self) -> usize {
+        match *self {
+            TreewidthBound::Exact(w) => w,
+            TreewidthBound::Range { upper, .. } => upper,
+        }
+    }
+
+    /// The best known lower bound.
+    pub fn lower(&self) -> usize {
+        match *self {
+            TreewidthBound::Exact(w) => w,
+            TreewidthBound::Range { lower, .. } => lower,
+        }
+    }
+
+    /// Whether the bound is exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, TreewidthBound::Exact(_))
+    }
+}
+
+/// Computes the exact treewidth, or `None` when some connected component
+/// exceeds [`EXACT_VERTEX_LIMIT`] vertices.
+pub fn treewidth_exact(g: &Graph) -> Option<usize> {
+    let mut width = 0;
+    for comp in g.connected_components() {
+        if comp.len() > EXACT_VERTEX_LIMIT {
+            return None;
+        }
+        let (sub, _) = g.induced_subgraph(&comp);
+        width = width.max(treewidth_exact_connected(&sub));
+    }
+    Some(width)
+}
+
+/// Computes the exact treewidth together with an optimal elimination order
+/// (for the whole graph), or `None` when too large for the exact DP.
+pub fn optimal_elimination_order(g: &Graph) -> Option<(Vec<u32>, usize)> {
+    let mut order = Vec::with_capacity(g.vertex_count());
+    let mut width = 0;
+    for comp in g.connected_components() {
+        if comp.len() > EXACT_VERTEX_LIMIT {
+            return None;
+        }
+        let (sub, map) = g.induced_subgraph(&comp);
+        let (sub_order, w) = optimal_elimination_order_connected(&sub);
+        width = width.max(w);
+        order.extend(sub_order.into_iter().map(|v| map[v as usize]));
+    }
+    Some((order, width))
+}
+
+/// Returns the best available bound: exact for small components, a
+/// `(degeneracy, min(min-fill, min-degree))` range otherwise.
+pub fn treewidth_bound(g: &Graph) -> TreewidthBound {
+    if let Some(w) = treewidth_exact(g) {
+        return TreewidthBound::Exact(w);
+    }
+    let lower = g.degeneracy_ordering().1;
+    let upper = elimination_order_width(g, &min_fill_order(g))
+        .min(elimination_order_width(g, &min_degree_order(g)));
+    if lower == upper {
+        TreewidthBound::Exact(lower)
+    } else {
+        TreewidthBound::Range { lower, upper }
+    }
+}
+
+/// Subset DP over a single connected component (≤ [`EXACT_VERTEX_LIMIT`]
+/// vertices): `f(S) = min_{v∈S} max(f(S∖{v}), |Q(S∖{v}, v)|)` where
+/// `Q(S, v)` is the set of vertices outside `S ∪ {v}` reachable from `v`
+/// via paths whose internal vertices lie in `S`. Then `tw = f(V)`.
+fn treewidth_exact_connected(g: &Graph) -> usize {
+    let table = exact_dp_table(g);
+    let n = g.vertex_count();
+    table[(1usize << n) - 1] as usize
+}
+
+fn optimal_elimination_order_connected(g: &Graph) -> (Vec<u32>, usize) {
+    let table = exact_dp_table(g);
+    let n = g.vertex_count();
+    let full = (1usize << n) - 1;
+    let width = table[full] as usize;
+    // Walk the table back down: the vertex achieving the minimum at S is
+    // eliminated *last* among S.
+    let mut order = vec![0u32; n];
+    let mut s = full;
+    while s != 0 {
+        let popcount = s.count_ones() as usize;
+        let mut chosen = None;
+        for v in 0..n {
+            if s & (1 << v) == 0 {
+                continue;
+            }
+            let without = s & !(1 << v);
+            let cost = table[without].max(back_degree(g, without, v) as u8);
+            if cost == table[s] {
+                chosen = Some(v);
+                break;
+            }
+        }
+        let v = chosen.expect("DP table is consistent");
+        order[popcount - 1] = v as u32;
+        s &= !(1 << v);
+    }
+    (order, width)
+}
+
+fn exact_dp_table(g: &Graph) -> Vec<u8> {
+    let n = g.vertex_count();
+    assert!(n <= EXACT_VERTEX_LIMIT, "graph too large for exact treewidth DP");
+    if n == 0 {
+        return vec![0];
+    }
+    let size = 1usize << n;
+    let mut table = vec![0u8; size];
+    for s in 1..size {
+        let mut best = u8::MAX;
+        let mut bits = s;
+        while bits != 0 {
+            let v = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let without = s & !(1 << v);
+            let cost = table[without].max(back_degree(g, without, v) as u8);
+            best = best.min(cost);
+        }
+        table[s] = best;
+    }
+    table
+}
+
+/// |Q(S, v)|: vertices outside `S ∪ {v}` reachable from `v` through `S`.
+fn back_degree(g: &Graph, s: usize, v: usize) -> usize {
+    let n = g.vertex_count();
+    let mut visited = 0usize; // vertices of S already traversed
+    let mut counted = 0usize; // outside vertices already counted (bitmask)
+    let mut count = 0;
+    let mut stack = vec![v as u32];
+    let v_bit = 1usize << v;
+    while let Some(u) = stack.pop() {
+        for &w in g.neighbors(u) {
+            let wb = 1usize << w;
+            if wb == v_bit {
+                continue;
+            }
+            if s & wb != 0 {
+                if visited & wb == 0 {
+                    visited |= wb;
+                    stack.push(w);
+                }
+            } else if counted & wb == 0 {
+                counted |= wb;
+                count += 1;
+            }
+        }
+    }
+    debug_assert!(count < n);
+    count
+}
+
+/// The width of the given elimination `order` on `g` (max back-degree in the
+/// fill-in simulation). This is an upper bound on treewidth for any order and
+/// equals treewidth for an optimal order.
+pub fn elimination_order_width(g: &Graph, order: &[u32]) -> usize {
+    assert_eq!(order.len(), g.vertex_count(), "order must cover all vertices");
+    let mut adjacency: Vec<BTreeSet<u32>> =
+        (0..g.vertex_count()).map(|v| g.neighbors(v as u32).clone()).collect();
+    let mut eliminated = vec![false; g.vertex_count()];
+    let mut width = 0;
+    for &v in order {
+        let neighbors: Vec<u32> = adjacency[v as usize]
+            .iter()
+            .copied()
+            .filter(|&w| !eliminated[w as usize])
+            .collect();
+        width = width.max(neighbors.len());
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                adjacency[a as usize].insert(b);
+                adjacency[b as usize].insert(a);
+            }
+        }
+        eliminated[v as usize] = true;
+    }
+    width
+}
+
+/// Greedy min-fill elimination order (a strong treewidth upper-bound
+/// heuristic): repeatedly eliminate the vertex whose elimination adds the
+/// fewest fill edges.
+pub fn min_fill_order(g: &Graph) -> Vec<u32> {
+    greedy_order(g, |adj, eliminated, v| {
+        let neighbors: Vec<u32> = adj[v as usize]
+            .iter()
+            .copied()
+            .filter(|&w| !eliminated[w as usize])
+            .collect();
+        let mut fill = 0usize;
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                if !adj[a as usize].contains(&b) {
+                    fill += 1;
+                }
+            }
+        }
+        fill
+    })
+}
+
+/// Greedy min-degree elimination order (a fast treewidth upper-bound
+/// heuristic).
+pub fn min_degree_order(g: &Graph) -> Vec<u32> {
+    greedy_order(g, |adj, eliminated, v| {
+        adj[v as usize].iter().filter(|&&w| !eliminated[w as usize]).count()
+    })
+}
+
+fn greedy_order(
+    g: &Graph,
+    score: impl Fn(&[BTreeSet<u32>], &[bool], u32) -> usize,
+) -> Vec<u32> {
+    let n = g.vertex_count();
+    let mut adjacency: Vec<BTreeSet<u32>> =
+        (0..n).map(|v| g.neighbors(v as u32).clone()).collect();
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = (0..n as u32)
+            .filter(|&v| !eliminated[v as usize])
+            .min_by_key(|&v| score(&adjacency, &eliminated, v))
+            .expect("vertex remains");
+        let neighbors: Vec<u32> = adjacency[v as usize]
+            .iter()
+            .copied()
+            .filter(|&w| !eliminated[w as usize])
+            .collect();
+        for (i, &a) in neighbors.iter().enumerate() {
+            for &b in &neighbors[i + 1..] {
+                adjacency[a as usize].insert(b);
+                adjacency[b as usize].insert(a);
+            }
+        }
+        eliminated[v as usize] = true;
+        order.push(v);
+    }
+    order
+}
+
+/// Builds a valid tree decomposition from an elimination order by the
+/// standard fill-in construction. The resulting width equals
+/// [`elimination_order_width`] (clamped to ≥ 0 bag sizes).
+pub fn decomposition_from_elimination_order(g: &Graph, order: &[u32]) -> TreeDecomposition {
+    let n = g.vertex_count();
+    assert_eq!(order.len(), n, "order must cover all vertices");
+    if n == 0 {
+        return TreeDecomposition::new(vec![BTreeSet::new()], vec![]);
+    }
+    let mut position = vec![0usize; n];
+    for (i, &v) in order.iter().enumerate() {
+        position[v as usize] = i;
+    }
+    let mut adjacency: Vec<BTreeSet<u32>> =
+        (0..n).map(|v| g.neighbors(v as u32).clone()).collect();
+    let mut bags: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+    // Eliminate in order; bag i (for order[i]) = {v} ∪ later neighbors.
+    for (i, &v) in order.iter().enumerate() {
+        let later: Vec<u32> = adjacency[v as usize]
+            .iter()
+            .copied()
+            .filter(|&w| position[w as usize] > i)
+            .collect();
+        let mut bag: BTreeSet<u32> = later.iter().copied().collect();
+        bag.insert(v);
+        bags[i] = bag;
+        for (a_idx, &a) in later.iter().enumerate() {
+            for &b in &later[a_idx + 1..] {
+                adjacency[a as usize].insert(b);
+                adjacency[b as usize].insert(a);
+            }
+        }
+    }
+    // Bag i's parent is the bag of the earliest-eliminated later neighbor.
+    let mut edges = Vec::new();
+    for (i, &v) in order.iter().enumerate() {
+        let parent = bags[i]
+            .iter()
+            .filter(|&&w| w != v)
+            .map(|&w| position[w as usize])
+            .min();
+        match parent {
+            Some(p) => edges.push((i, p)),
+            None => {
+                // v's bag is a singleton: attach anywhere to keep a tree.
+                if i + 1 < n {
+                    edges.push((i, i + 1));
+                }
+            }
+        }
+    }
+    TreeDecomposition::new(bags, edges)
+}
+
+/// Best available tree decomposition: optimal for small graphs, best
+/// heuristic otherwise. Always valid for `g`.
+pub fn best_decomposition(g: &Graph) -> TreeDecomposition {
+    let order = match optimal_elimination_order(g) {
+        Some((order, _)) => order,
+        None => {
+            let mf = min_fill_order(g);
+            let md = min_degree_order(g);
+            if elimination_order_width(g, &mf) <= elimination_order_width(g, &md) {
+                mf
+            } else {
+                md
+            }
+        }
+    };
+    decomposition_from_elimination_order(g, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn trees_have_treewidth_one() {
+        let star = generators::star_graph(6);
+        assert_eq!(treewidth_exact(&star), Some(1));
+        let path = generators::path_graph(8);
+        assert_eq!(treewidth_exact(&path), Some(1));
+    }
+
+    #[test]
+    fn cycles_have_treewidth_two() {
+        for n in 3..8 {
+            assert_eq!(treewidth_exact(&generators::cycle_graph(n)), Some(2), "C_{n}");
+        }
+    }
+
+    #[test]
+    fn cliques_have_treewidth_k_minus_one() {
+        for k in 1..7 {
+            assert_eq!(treewidth_exact(&generators::complete_graph(k)), Some(k - 1), "K_{k}");
+        }
+    }
+
+    #[test]
+    fn grids_have_treewidth_min_dimension() {
+        assert_eq!(treewidth_exact(&generators::grid_graph(2, 3)), Some(2));
+        assert_eq!(treewidth_exact(&generators::grid_graph(3, 3)), Some(3));
+        assert_eq!(treewidth_exact(&generators::grid_graph(3, 4)), Some(3));
+    }
+
+    #[test]
+    fn edgeless_and_empty() {
+        assert_eq!(treewidth_exact(&Graph::new(0)), Some(0));
+        assert_eq!(treewidth_exact(&Graph::new(5)), Some(0));
+    }
+
+    #[test]
+    fn disconnected_takes_max() {
+        // K4 plus a path: tw = 3.
+        let mut g = Graph::new(8);
+        for i in 0..4u32 {
+            for j in (i + 1)..4 {
+                g.add_edge(i, j);
+            }
+        }
+        g.add_edge(4, 5);
+        g.add_edge(5, 6);
+        g.add_edge(6, 7);
+        assert_eq!(treewidth_exact(&g), Some(3));
+    }
+
+    #[test]
+    fn optimal_order_achieves_exact_width() {
+        for g in [
+            generators::cycle_graph(6),
+            generators::grid_graph(3, 3),
+            generators::complete_graph(5),
+        ] {
+            let (order, w) = optimal_elimination_order(&g).unwrap();
+            assert_eq!(elimination_order_width(&g, &order), w);
+            assert_eq!(Some(w), treewidth_exact(&g));
+        }
+    }
+
+    #[test]
+    fn heuristics_bracket_exact() {
+        let g = generators::grid_graph(3, 4);
+        let exact = treewidth_exact(&g).unwrap();
+        let upper = elimination_order_width(&g, &min_fill_order(&g));
+        let lower = g.degeneracy_ordering().1;
+        assert!(lower <= exact && exact <= upper);
+    }
+
+    #[test]
+    fn decomposition_from_order_is_valid_and_tight() {
+        let g = generators::grid_graph(3, 3);
+        let (order, w) = optimal_elimination_order(&g).unwrap();
+        let td = decomposition_from_elimination_order(&g, &order);
+        assert!(td.is_valid_for(&g));
+        assert_eq!(td.width(), w);
+    }
+
+    #[test]
+    fn best_decomposition_valid_on_families() {
+        for g in [
+            Graph::new(0),
+            Graph::new(3),
+            generators::path_graph(5),
+            generators::cycle_graph(7),
+            generators::complete_graph(4),
+            generators::grid_graph(2, 4),
+        ] {
+            let td = best_decomposition(&g);
+            assert!(td.is_valid_for(&g), "invalid decomposition for {:?}", g);
+        }
+    }
+
+    #[test]
+    fn bound_collapses_to_exact_for_small() {
+        let g = generators::cycle_graph(5);
+        assert_eq!(treewidth_bound(&g), TreewidthBound::Exact(2));
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the graph substrate: treewidth bounds bracket the
+//! exact value, decompositions are always valid, nice conversions are
+//! well-formed, and clique counts match naive enumeration.
+
+use epq_graph::graph::Graph;
+use epq_graph::{cliques, decomposition::NiceTreeDecomposition, treewidth};
+use proptest::prelude::*;
+
+/// Strategy: a random graph on up to 9 vertices given by an edge mask.
+fn small_graph() -> impl Strategy<Value = Graph> {
+    (2usize..=9, any::<u64>()).prop_map(|(n, mask)| {
+        let mut g = Graph::new(n);
+        let mut bit = 0;
+        for i in 0..n as u32 {
+            for j in i + 1..n as u32 {
+                if mask & (1 << (bit % 64)) != 0 {
+                    g.add_edge(i, j);
+                }
+                bit += 1;
+            }
+        }
+        g
+    })
+}
+
+/// Naive k-clique counting by subset enumeration (test oracle).
+fn count_cliques_naive(g: &Graph, k: usize) -> u128 {
+    let n = g.vertex_count();
+    if k > n {
+        return 0;
+    }
+    let mut count = 0u128;
+    for mask in 0u32..(1 << n) {
+        if mask.count_ones() as usize != k {
+            continue;
+        }
+        let members: Vec<u32> =
+            (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        if g.is_clique(&members) {
+            count += 1;
+        }
+    }
+    count
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn degeneracy_lower_bounds_treewidth(g in small_graph()) {
+        let exact = treewidth::treewidth_exact(&g).unwrap();
+        let (_, degeneracy) = g.degeneracy_ordering();
+        prop_assert!(degeneracy <= exact.max(degeneracy.min(exact)) || degeneracy <= exact,
+            "degeneracy {degeneracy} exceeds exact treewidth {exact}");
+        prop_assert!(degeneracy <= exact);
+    }
+
+    #[test]
+    fn heuristic_orders_upper_bound_treewidth(g in small_graph()) {
+        let exact = treewidth::treewidth_exact(&g).unwrap();
+        let mf = treewidth::elimination_order_width(&g, &treewidth::min_fill_order(&g));
+        let md = treewidth::elimination_order_width(&g, &treewidth::min_degree_order(&g));
+        prop_assert!(mf >= exact);
+        prop_assert!(md >= exact);
+    }
+
+    #[test]
+    fn optimal_order_achieves_exact_treewidth(g in small_graph()) {
+        let (order, width) = treewidth::optimal_elimination_order(&g).unwrap();
+        prop_assert_eq!(width, treewidth::treewidth_exact(&g).unwrap());
+        prop_assert_eq!(treewidth::elimination_order_width(&g, &order), width);
+    }
+
+    #[test]
+    fn best_decomposition_is_valid_and_tight(g in small_graph()) {
+        let td = treewidth::best_decomposition(&g);
+        prop_assert!(td.is_valid_for(&g));
+        prop_assert_eq!(td.width(), treewidth::treewidth_exact(&g).unwrap());
+    }
+
+    #[test]
+    fn nice_conversion_preserves_width(g in small_graph()) {
+        let td = treewidth::best_decomposition(&g);
+        let nice = NiceTreeDecomposition::from_tree_decomposition(&td);
+        prop_assert!(nice.is_well_formed());
+        prop_assert_eq!(nice.width(), td.width());
+    }
+
+    #[test]
+    fn clique_counts_match_naive(g in small_graph(), k in 0usize..6) {
+        prop_assert_eq!(cliques::count_k_cliques(&g, k), count_cliques_naive(&g, k));
+    }
+
+    #[test]
+    fn clique_decision_matches_counting(g in small_graph(), k in 0usize..6) {
+        prop_assert_eq!(cliques::has_k_clique(&g, k), cliques::count_k_cliques(&g, k) > 0);
+    }
+
+    #[test]
+    fn max_clique_is_a_maximal_clique(g in small_graph()) {
+        let mc = cliques::max_clique(&g);
+        prop_assert!(g.is_clique(&mc));
+        // No larger clique exists.
+        prop_assert_eq!(cliques::count_k_cliques(&g, mc.len() + 1), 0);
+        if !mc.is_empty() {
+            prop_assert!(cliques::count_k_cliques(&g, mc.len()) > 0);
+        }
+    }
+
+    #[test]
+    fn components_partition_vertices(g in small_graph()) {
+        let comps = g.connected_components();
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        prop_assert_eq!(total, g.vertex_count());
+        // No edge crosses components.
+        for (u, v) in g.edges() {
+            let cu = comps.iter().position(|c| c.contains(&u));
+            let cv = comps.iter().position(|c| c.contains(&v));
+            prop_assert_eq!(cu, cv);
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! ∃-components and the contract graph (Section 2.4 of the paper).
+//!
+//! For a prenex pp-formula `(A, S)` with graph `G`:
+//!
+//! * an **∃-component** is `G[V′]` where `V` is the vertex set of a
+//!   connected component of `G[A ∖ S]` and `V′ = V ∪ {s ∈ S : s has an
+//!   edge into V}`;
+//! * **contract(A, S)** is the graph on `S` obtained from `G[S]` by adding
+//!   an edge between any two vertices appearing together in an
+//!   ∃-component.
+//!
+//! The paper defines these on the *core* of the formula; callers that need
+//! the paper's conditions apply [`PpFormula::core`] first (the trichotomy
+//! classifier in `epq-core` does). The same machinery also drives the FPT
+//! counting algorithm, where each ∃-component becomes a derived constraint
+//! over its boundary — a clique in the contract graph, hence of bounded
+//! size whenever the contract graph has bounded treewidth.
+
+use crate::pp::PpFormula;
+use epq_graph::Graph;
+use std::collections::BTreeSet;
+
+/// An ∃-component of a pp-formula `(A, S)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ExistentialComponent {
+    /// The quantified (non-liberal) vertices of the component — a connected
+    /// component of `G[A ∖ S]`.
+    pub interior: Vec<u32>,
+    /// The liberal vertices with an edge into the interior (sorted).
+    pub boundary: Vec<u32>,
+}
+
+/// Computes the ∃-components of `pp` (on the formula as given — core it
+/// first for the paper's definition).
+pub fn existential_components(pp: &PpFormula) -> Vec<ExistentialComponent> {
+    let gaifman = pp.structure().gaifman_graph();
+    let s = pp.liberal_count() as u32;
+    let quantified: Vec<u32> =
+        (s..pp.structure().universe_size() as u32).collect();
+    let (sub, map) = gaifman.induced_subgraph(&quantified);
+    sub.connected_components()
+        .into_iter()
+        .map(|comp| {
+            let interior: Vec<u32> =
+                comp.iter().map(|&v| map[v as usize]).collect();
+            let mut boundary: BTreeSet<u32> = BTreeSet::new();
+            for &v in &interior {
+                for &w in gaifman.neighbors(v) {
+                    if w < s {
+                        boundary.insert(w);
+                    }
+                }
+            }
+            ExistentialComponent {
+                interior,
+                boundary: boundary.into_iter().collect(),
+            }
+        })
+        .collect()
+}
+
+/// Computes contract(A, S) for `pp` (on the formula as given — core it
+/// first for the paper's definition). The result is a graph on the liberal
+/// vertices `0..liberal_count`.
+pub fn contract_graph(pp: &PpFormula) -> Graph {
+    let gaifman = pp.structure().gaifman_graph();
+    let s = pp.liberal_count();
+    let mut g = Graph::new(s);
+    // G[S] edges.
+    for u in 0..s as u32 {
+        for &w in gaifman.neighbors(u) {
+            if (w as usize) < s && u < w {
+                g.add_edge(u, w);
+            }
+        }
+    }
+    // Boundary cliques of ∃-components.
+    for comp in existential_components(pp) {
+        for (i, &a) in comp.boundary.iter().enumerate() {
+            for &b in &comp.boundary[i + 1..] {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::formula::{Formula, Var};
+    use crate::query::{infer_signature, Query};
+
+    fn pp(liberal: &[&str], f: Formula) -> PpFormula {
+        let sig = infer_signature([&f]).unwrap();
+        let q = Query::new(f, liberal.iter().map(|&v| Var::new(v))).unwrap();
+        PpFormula::from_query(&q, &sig).unwrap()
+    }
+
+    #[test]
+    fn quantifier_free_formula_has_no_existential_components() {
+        let phi = pp(
+            &["x", "y", "z"],
+            Formula::atom("E", &["x", "y"]).and(Formula::atom("E", &["y", "z"])),
+        );
+        assert!(existential_components(&phi).is_empty());
+        // Contract graph = G[S]: path x-y-z.
+        let g = contract_graph(&phi);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn quantified_star_contracts_to_clique() {
+        // φ(x1,x2,x3) = ∃u . E(x1,u) ∧ E(x2,u) ∧ E(x3,u): the ∃-component
+        // {u} has boundary {x1,x2,x3}, so contract is K3.
+        let f = Formula::exists(
+            &["u"],
+            Formula::conjunction([
+                Formula::atom("E", &["x1", "u"]),
+                Formula::atom("E", &["x2", "u"]),
+                Formula::atom("E", &["x3", "u"]),
+            ]),
+        );
+        let phi = pp(&["x1", "x2", "x3"], f);
+        let comps = existential_components(&phi);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].interior.len(), 1);
+        assert_eq!(comps[0].boundary, vec![0, 1, 2]);
+        let g = contract_graph(&phi);
+        assert_eq!(g.edge_count(), 3); // triangle on the liberal vertices
+    }
+
+    #[test]
+    fn separate_existential_parts_stay_separate() {
+        // φ(x,y) = (∃u E(x,u)) ∧ (∃v E(y,v)): two ∃-components with
+        // singleton boundaries; contract graph has no edges.
+        let f = Formula::exists(&["u"], Formula::atom("E", &["x", "u"])).and(
+            Formula::exists(&["v"], Formula::atom("E", &["y", "v"])),
+        );
+        let phi = pp(&["x", "y"], f);
+        let comps = existential_components(&phi);
+        assert_eq!(comps.len(), 2);
+        for c in &comps {
+            assert_eq!(c.boundary.len(), 1);
+        }
+        assert_eq!(contract_graph(&phi).edge_count(), 0);
+    }
+
+    #[test]
+    fn quantified_path_bridges_liberal_endpoints() {
+        // φ(x,y) = ∃u,v . E(x,u) ∧ E(u,v) ∧ E(v,y): one ∃-component
+        // {u,v} with boundary {x,y} → contract edge x—y.
+        let f = Formula::exists(
+            &["u", "v"],
+            Formula::conjunction([
+                Formula::atom("E", &["x", "u"]),
+                Formula::atom("E", &["u", "v"]),
+                Formula::atom("E", &["v", "y"]),
+            ]),
+        );
+        let phi = pp(&["x", "y"], f);
+        let comps = existential_components(&phi);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].interior.len(), 2);
+        assert_eq!(comps[0].boundary, vec![0, 1]);
+        let g = contract_graph(&phi);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn sentence_components_have_empty_boundary() {
+        // φ(x) = E(x,x) ∧ ∃a,b . F(a,b).
+        let f = Formula::atom("E", &["x", "x"]).and(Formula::exists(
+            &["a", "b"],
+            Formula::atom("F", &["a", "b"]),
+        ));
+        let phi = pp(&["x"], f);
+        let comps = existential_components(&phi);
+        assert_eq!(comps.len(), 1);
+        assert!(comps[0].boundary.is_empty());
+        assert_eq!(comps[0].interior.len(), 2);
+    }
+
+    #[test]
+    fn isolated_liberal_vertices_stay_isolated_in_contract() {
+        // φ(x, z) = ∃u . E(x,u): z has no edges anywhere.
+        let f = Formula::exists(&["u"], Formula::atom("E", &["x", "u"]));
+        let phi = pp(&["x", "z"], f);
+        let g = contract_graph(&phi);
+        assert_eq!(g.vertex_count(), 2);
+        assert_eq!(g.edge_count(), 0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Queries: formulas with liberal variables, and signature inference.
+
+use crate::formula::{Formula, Var};
+use epq_structures::Signature;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An error raised while building or converting queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogicError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl LogicError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        LogicError { message: message.into() }
+    }
+}
+
+impl fmt::Display for LogicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "logic error: {}", self.message)
+    }
+}
+
+impl std::error::Error for LogicError {}
+
+/// An ep-formula `φ(V)` together with its liberal variables `V = lib(φ)`.
+///
+/// Invariants (checked at construction, per Section 2.1 of the paper):
+/// `free(φ) ⊆ lib(φ)`, and no liberal variable is quantified anywhere in
+/// the formula.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Query {
+    formula: Formula,
+    /// Sorted, duplicate-free liberal variables.
+    liberal: Vec<Var>,
+}
+
+impl Query {
+    /// Builds a query with explicit liberal variables.
+    pub fn new(
+        formula: Formula,
+        liberal: impl IntoIterator<Item = Var>,
+    ) -> Result<Self, LogicError> {
+        let liberal_set: BTreeSet<Var> = liberal.into_iter().collect();
+        let free = formula.free_vars();
+        if let Some(missing) = free.iter().find(|v| !liberal_set.contains(v)) {
+            return Err(LogicError::new(format!(
+                "free variable {missing} is not among the liberal variables"
+            )));
+        }
+        let quantified = formula.quantified_vars();
+        if let Some(clash) = liberal_set.iter().find(|v| quantified.contains(v)) {
+            return Err(LogicError::new(format!(
+                "variable {clash} is both liberal and quantified"
+            )));
+        }
+        Ok(Query { formula, liberal: liberal_set.into_iter().collect() })
+    }
+
+    /// Builds a query whose liberal variables are exactly the free
+    /// variables.
+    pub fn from_formula(formula: Formula) -> Result<Self, LogicError> {
+        let free: Vec<Var> = formula.free_vars().into_iter().collect();
+        Query::new(formula, free)
+    }
+
+    /// The formula.
+    pub fn formula(&self) -> &Formula {
+        &self.formula
+    }
+
+    /// The liberal variables, sorted by name.
+    pub fn liberal(&self) -> &[Var] {
+        &self.liberal
+    }
+
+    /// Number of liberal variables.
+    pub fn liberal_count(&self) -> usize {
+        self.liberal.len()
+    }
+
+    /// Whether the formula is primitive positive.
+    pub fn is_pp(&self) -> bool {
+        self.formula.is_pp()
+    }
+
+    /// Whether the formula is a sentence (`free(φ) = ∅`; it may still have
+    /// liberal variables).
+    pub fn is_sentence(&self) -> bool {
+        self.formula.is_sentence()
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.liberal.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") := {}", self.formula)
+    }
+}
+
+/// Infers a [`Signature`] covering all atoms in the given formulas.
+///
+/// Fails when a relation name is used with inconsistent arities.
+pub fn infer_signature<'a>(
+    formulas: impl IntoIterator<Item = &'a Formula>,
+) -> Result<Signature, LogicError> {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    for formula in formulas {
+        for atom in formula.atoms() {
+            match seen.iter().find(|(n, _)| *n == atom.relation) {
+                Some((_, arity)) if *arity != atom.args.len() => {
+                    return Err(LogicError::new(format!(
+                        "relation {} used with arities {} and {}",
+                        atom.relation,
+                        arity,
+                        atom.args.len()
+                    )));
+                }
+                Some(_) => {}
+                None => {
+                    if atom.args.is_empty() {
+                        return Err(LogicError::new(format!(
+                            "relation {} has arity 0 (arities must be >= 1)",
+                            atom.relation
+                        )));
+                    }
+                    seen.push((atom.relation.clone(), atom.args.len()));
+                }
+            }
+        }
+    }
+    Ok(Signature::from_symbols(seen))
+}
+
+/// Validates that every atom of `formula` matches `signature`.
+pub fn check_against_signature(
+    formula: &Formula,
+    signature: &Signature,
+) -> Result<(), LogicError> {
+    for atom in formula.atoms() {
+        match signature.lookup(&atom.relation) {
+            None => {
+                return Err(LogicError::new(format!(
+                    "relation {} not in signature",
+                    atom.relation
+                )))
+            }
+            Some(rel) if signature.arity(rel) != atom.args.len() => {
+                return Err(LogicError::new(format!(
+                    "relation {} has arity {} but is used with {} arguments",
+                    atom.relation,
+                    signature.arity(rel),
+                    atom.args.len()
+                )))
+            }
+            Some(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn liberal_must_cover_free() {
+        let f = Formula::atom("E", &["x", "y"]);
+        assert!(Query::new(f.clone(), [Var::new("x")]).is_err());
+        let q = Query::new(f, [Var::new("x"), Var::new("y"), Var::new("z")]).unwrap();
+        assert_eq!(q.liberal_count(), 3);
+    }
+
+    #[test]
+    fn liberal_cannot_be_quantified() {
+        let f = Formula::exists(&["y"], Formula::atom("E", &["x", "y"]));
+        assert!(Query::new(f, [Var::new("x"), Var::new("y")]).is_err());
+    }
+
+    #[test]
+    fn from_formula_defaults_to_free() {
+        let f = Formula::exists(&["u"], Formula::atom("E", &["x", "u"]));
+        let q = Query::from_formula(f).unwrap();
+        assert_eq!(q.liberal(), &[Var::new("x")]);
+    }
+
+    #[test]
+    fn liberal_vars_are_sorted_and_deduped() {
+        let f = Formula::atom("E", &["x", "y"]);
+        let q = Query::new(
+            f,
+            [Var::new("y"), Var::new("x"), Var::new("y"), Var::new("a")],
+        )
+        .unwrap();
+        assert_eq!(q.liberal(), &[Var::new("a"), Var::new("x"), Var::new("y")]);
+    }
+
+    #[test]
+    fn signature_inference_and_conflicts() {
+        let f = Formula::atom("E", &["x", "y"]).and(Formula::atom("P", &["x"]));
+        let sig = infer_signature([&f]).unwrap();
+        assert_eq!(sig.len(), 2);
+        assert_eq!(sig.arity(sig.lookup("E").unwrap()), 2);
+        let g = Formula::atom("E", &["x", "y", "z"]);
+        assert!(infer_signature([&f, &g]).is_err());
+    }
+
+    #[test]
+    fn signature_check() {
+        let sig = Signature::from_symbols([("E", 2)]);
+        let ok = Formula::atom("E", &["x", "y"]);
+        assert!(check_against_signature(&ok, &sig).is_ok());
+        let missing = Formula::atom("F", &["x"]);
+        assert!(check_against_signature(&missing, &sig).is_err());
+        let wrong_arity = Formula::atom("E", &["x"]);
+        assert!(check_against_signature(&wrong_arity, &sig).is_err());
+    }
+
+    #[test]
+    fn display_includes_head() {
+        let q = Query::from_formula(Formula::atom("E", &["x", "y"])).unwrap();
+        assert_eq!(q.to_string(), "(x, y) := E(x,y)");
+    }
+}

@@ -1,0 +1,29 @@
+//! # epq-relalg — a select–project–join–union baseline engine
+//!
+//! Substrate crate S5 of the `epq` workspace (see `DESIGN.md`).
+//!
+//! Unions of conjunctive queries are exactly the select–project–join–union
+//! queries of relational algebra (the paper's introduction cites them as
+//! "the most common database queries"). This crate evaluates pp-formulas
+//! and UCQs the way a small database engine would: scan atoms into
+//! variable-schema relations, hash-join them (greedy smallest-first join
+//! order), project onto the liberal variables, and union disjunct answer
+//! sets with set semantics.
+//!
+//! It serves two roles in the reproduction:
+//!
+//! * an **independent counting oracle** — tests cross-check it against the
+//!   brute-force and tree-decomposition counters of `epq-counting`;
+//! * the **baseline engine** in the benchmark suite (experiment F1), the
+//!   thing the paper's FPT algorithms are an asymptotic improvement over
+//!   (materialization is output-sensitive and can be exponential).
+//!
+//! Columns are identified by *liberal slots* and pp-element indices (see
+//! [`epq_logic::PpFormula`]'s canonical layout), so disjuncts over the
+//! same liberal variable set align positionally.
+
+pub mod engine;
+pub mod relation;
+
+pub use engine::{answers_pp, count_pp, count_ucq, JoinPlan};
+pub use relation::Relation;

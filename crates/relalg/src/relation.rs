@@ -1,0 +1,259 @@
+//! In-memory relations with variable schemas and set semantics.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// A materialized relation: a schema of column identifiers (pp-formula
+/// element indices) and a deduplicated, sorted set of rows.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Relation {
+    schema: Vec<u32>,
+    rows: Vec<Vec<u32>>,
+}
+
+impl Relation {
+    /// Builds a relation, deduplicating and sorting rows.
+    ///
+    /// # Panics
+    /// Panics if the schema has duplicate columns or a row has the wrong
+    /// width.
+    pub fn new(schema: Vec<u32>, mut rows: Vec<Vec<u32>>) -> Self {
+        let unique: BTreeSet<u32> = schema.iter().copied().collect();
+        assert_eq!(unique.len(), schema.len(), "duplicate column in schema");
+        for row in &rows {
+            assert_eq!(row.len(), schema.len(), "row width mismatch");
+        }
+        rows.sort_unstable();
+        rows.dedup();
+        Relation { schema, rows }
+    }
+
+    /// The nullary relation with a single empty row (the join identity).
+    pub fn unit() -> Self {
+        Relation { schema: Vec::new(), rows: vec![Vec::new()] }
+    }
+
+    /// The nullary empty relation (the join annihilator).
+    pub fn empty() -> Self {
+        Relation { schema: Vec::new(), rows: Vec::new() }
+    }
+
+    /// Column identifiers.
+    pub fn schema(&self) -> &[u32] {
+        &self.schema
+    }
+
+    /// The rows (sorted, deduplicated).
+    pub fn rows(&self) -> &[Vec<u32>] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Natural join on shared columns (hash join; the smaller side builds).
+    pub fn join(&self, other: &Relation) -> Relation {
+        let (build, probe) =
+            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        // Shared columns and their positions.
+        let shared: Vec<u32> = build
+            .schema
+            .iter()
+            .copied()
+            .filter(|c| probe.schema.contains(c))
+            .collect();
+        let build_key: Vec<usize> = shared
+            .iter()
+            .map(|c| build.schema.iter().position(|x| x == c).unwrap())
+            .collect();
+        let probe_key: Vec<usize> = shared
+            .iter()
+            .map(|c| probe.schema.iter().position(|x| x == c).unwrap())
+            .collect();
+        // Output schema: build's columns then probe's non-shared columns.
+        let probe_extra: Vec<usize> = (0..probe.schema.len())
+            .filter(|&i| !shared.contains(&probe.schema[i]))
+            .collect();
+        let mut schema = build.schema.clone();
+        schema.extend(probe_extra.iter().map(|&i| probe.schema[i]));
+
+        let mut table: HashMap<Vec<u32>, Vec<&Vec<u32>>> = HashMap::new();
+        for row in &build.rows {
+            let key: Vec<u32> = build_key.iter().map(|&i| row[i]).collect();
+            table.entry(key).or_default().push(row);
+        }
+        let mut rows = Vec::new();
+        for row in &probe.rows {
+            let key: Vec<u32> = probe_key.iter().map(|&i| row[i]).collect();
+            if let Some(matches) = table.get(&key) {
+                for b in matches {
+                    let mut out = (*b).clone();
+                    out.extend(probe_extra.iter().map(|&i| row[i]));
+                    rows.push(out);
+                }
+            }
+        }
+        Relation::new(schema, rows)
+    }
+
+    /// Projection onto `columns` (with deduplication).
+    ///
+    /// # Panics
+    /// Panics if a requested column is absent.
+    pub fn project(&self, columns: &[u32]) -> Relation {
+        let positions: Vec<usize> = columns
+            .iter()
+            .map(|c| {
+                self.schema
+                    .iter()
+                    .position(|x| x == c)
+                    .unwrap_or_else(|| panic!("column {c} not in schema"))
+            })
+            .collect();
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| positions.iter().map(|&i| row[i]).collect())
+            .collect();
+        Relation::new(columns.to_vec(), rows)
+    }
+
+    /// Set union. Schemas must contain the same columns; `other` is
+    /// reordered to match.
+    ///
+    /// # Panics
+    /// Panics if the column sets differ.
+    pub fn union(&self, other: &Relation) -> Relation {
+        let reordered = other.project(&self.schema);
+        let mut rows = self.rows.clone();
+        rows.extend(reordered.rows);
+        Relation::new(self.schema.clone(), rows)
+    }
+
+    /// Cross product with a fresh column ranging over `0..domain`.
+    ///
+    /// # Panics
+    /// Panics if `column` is already in the schema.
+    pub fn extend_with_domain(&self, column: u32, domain: usize) -> Relation {
+        assert!(!self.schema.contains(&column), "column {column} already present");
+        let mut schema = self.schema.clone();
+        schema.push(column);
+        let mut rows = Vec::with_capacity(self.rows.len() * domain);
+        for row in &self.rows {
+            for x in 0..domain as u32 {
+                let mut out = row.clone();
+                out.push(x);
+                rows.push(out);
+            }
+        }
+        Relation::new(schema, rows)
+    }
+
+    /// Selection: keep rows where the given columns are equal.
+    pub fn select_eq(&self, a: u32, b: u32) -> Relation {
+        let pa = self.schema.iter().position(|&x| x == a).expect("column a");
+        let pb = self.schema.iter().position(|&x| x == b).expect("column b");
+        let rows = self
+            .rows
+            .iter()
+            .filter(|row| row[pa] == row[pb])
+            .cloned()
+            .collect();
+        Relation::new(self.schema.clone(), rows)
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:?}", self.schema)?;
+        for row in &self.rows {
+            writeln!(f, "{row:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(schema: &[u32], rows: &[&[u32]]) -> Relation {
+        Relation::new(schema.to_vec(), rows.iter().map(|r| r.to_vec()).collect())
+    }
+
+    #[test]
+    fn rows_are_set_semantics() {
+        let r = rel(&[0, 1], &[&[1, 2], &[0, 1], &[1, 2]]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.rows()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn join_on_shared_column() {
+        // R(x,y) ⋈ S(y,z)
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let s = rel(&[1, 2], &[&[2, 5], &[2, 6], &[9, 9]]);
+        let j = r.join(&s);
+        assert_eq!(j.schema(), &[0, 1, 2]);
+        assert_eq!(j.rows(), &[vec![1, 2, 5], vec![1, 2, 6]]);
+    }
+
+    #[test]
+    fn join_without_shared_columns_is_cross_product() {
+        let r = rel(&[0], &[&[1], &[2]]);
+        let s = rel(&[1], &[&[7], &[8]]);
+        let j = r.join(&s);
+        assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn join_with_unit_and_empty() {
+        let r = rel(&[0], &[&[1], &[2]]);
+        assert_eq!(r.join(&Relation::unit()), r);
+        assert!(r.join(&Relation::empty()).is_empty());
+    }
+
+    #[test]
+    fn projection_dedupes() {
+        let r = rel(&[0, 1], &[&[1, 5], &[1, 6], &[2, 5]]);
+        let p = r.project(&[0]);
+        assert_eq!(p.rows(), &[vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn union_reorders_columns() {
+        let r = rel(&[0, 1], &[&[1, 2]]);
+        let s = rel(&[1, 0], &[&[2, 1], &[9, 8]]);
+        let u = r.union(&s);
+        assert_eq!(u.len(), 2); // (1,2) merges with reordered (2,1)
+        assert!(u.rows().contains(&vec![8, 9]));
+    }
+
+    #[test]
+    fn domain_extension() {
+        let r = rel(&[0], &[&[5]]);
+        let e = r.extend_with_domain(3, 4);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.schema(), &[0, 3]);
+    }
+
+    #[test]
+    fn select_eq_filters() {
+        let r = rel(&[0, 1], &[&[1, 1], &[1, 2], &[3, 3]]);
+        let s = r.select_eq(0, 1);
+        assert_eq!(s.rows(), &[vec![1, 1], vec![3, 3]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_schema_panics() {
+        let _ = rel(&[0, 0], &[]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the structures substrate: homomorphism counting
+//! laws under products and unions, core idempotence, parse/display
+//! round-trips, and augmentation pinning.
+
+use epq_bigint::Natural;
+use epq_structures::{core, hom, iso, ops, parse, Signature, Structure};
+use proptest::prelude::*;
+
+/// Strategy: a random digraph structure on up to 4 elements (an edge
+/// mask over ordered pairs, loops included).
+fn small_digraph() -> impl Strategy<Value = Structure> {
+    (1usize..=4, any::<u32>()).prop_map(|(n, mask)| {
+        let sig = Signature::from_symbols([("E", 2)]);
+        let mut s = Structure::new(sig, n);
+        let mut bit = 0;
+        for u in 0..n as u32 {
+            for v in 0..n as u32 {
+                if mask & (1 << (bit % 32)) != 0 {
+                    s.add_tuple_named("E", &[u, v]);
+                }
+                bit += 1;
+            }
+        }
+        s
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hom_counts_multiply_over_products(
+        a in small_digraph(), b in small_digraph(), c in small_digraph(),
+    ) {
+        // |Hom(A, B×C)| = |Hom(A,B)| · |Hom(A,C)| (universal property).
+        let product = ops::direct_product(&b, &c);
+        let lhs = hom::count_homomorphisms(&a, &product);
+        let rhs = hom::count_homomorphisms(&a, &b) * hom::count_homomorphisms(&a, &c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn hom_counts_add_over_unions_for_connected_sources(
+        b in small_digraph(), c in small_digraph(),
+    ) {
+        // For a connected source with at least one atom: |Hom(A, B+C)| =
+        // |Hom(A,B)| + |Hom(A,C)|. Use a fixed connected A (a 2-path).
+        let sig = Signature::from_symbols([("E", 2)]);
+        let mut a = Structure::new(sig, 3);
+        a.add_tuple_named("E", &[0, 1]);
+        a.add_tuple_named("E", &[1, 2]);
+        let union = ops::disjoint_union(&b, &c);
+        let lhs = hom::count_homomorphisms(&a, &union);
+        let rhs = hom::count_homomorphisms(&a, &b) + hom::count_homomorphisms(&a, &c);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn every_found_hom_is_a_hom(a in small_digraph(), b in small_digraph()) {
+        if let Some(h) = hom::find_homomorphism(&a, &b) {
+            prop_assert!(hom::is_homomorphism(&a, &b, &h));
+        } else {
+            // No hom found: counting must agree.
+            prop_assert_eq!(hom::count_homomorphisms(&a, &b), Natural::zero());
+        }
+    }
+
+    #[test]
+    fn core_is_idempotent_and_equivalent(a in small_digraph()) {
+        let (core1, _) = core::core_of(&a);
+        prop_assert!(core::is_core(&core1));
+        prop_assert!(core::homomorphically_equivalent(&a, &core1));
+        let (core2, _) = core::core_of(&core1);
+        prop_assert!(iso::isomorphic(&core1, &core2));
+    }
+
+    #[test]
+    fn cores_of_hom_equivalent_structures_are_isomorphic(a in small_digraph()) {
+        // A and A ⊎ A are hom-equivalent; their cores must be isomorphic.
+        let doubled = ops::disjoint_union(&a, &a);
+        let (c1, _) = core::core_of(&a);
+        let (c2, _) = core::core_of(&doubled);
+        prop_assert!(iso::isomorphic(&c1, &c2));
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in small_digraph()) {
+        let text = a.to_string();
+        let reparsed = parse::parse_structure(&text);
+        // Empty relations need declared arities, which Display omits only
+        // when the relation is empty — handle both outcomes.
+        match reparsed {
+            Ok(b) => prop_assert_eq!(a, b),
+            Err(_) => {
+                let e = a.signature().lookup("E").unwrap();
+                prop_assert!(a.relation(e).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn one_point_is_terminal(a in small_digraph()) {
+        let unit = ops::one_point(a.signature().clone());
+        prop_assert_eq!(
+            hom::count_homomorphisms(&a, &unit),
+            if a.universe_size() == 0 { Natural::one() } else { Natural::one() }
+        );
+    }
+
+    #[test]
+    fn padding_makes_everything_satisfiable(a in small_digraph(), b in small_digraph()) {
+        let padded = ops::add_units(&b, 1);
+        prop_assert!(hom::homomorphism_exists(&a, &padded));
+    }
+
+    #[test]
+    fn augmentation_restricts_homs(a in small_digraph()) {
+        prop_assume!(a.universe_size() >= 1);
+        // Pinning all elements: the only candidate endo of aug is the identity.
+        let pins: Vec<u32> = (0..a.universe_size() as u32).collect();
+        let aug = ops::augment(&a, &pins);
+        let count = hom::count_homomorphisms(&aug, &aug);
+        prop_assert_eq!(count, Natural::one());
+    }
+
+    #[test]
+    fn isomorphism_is_reflexive_and_respects_relabeling(a in small_digraph()) {
+        prop_assert!(iso::isomorphic(&a, &a));
+        // Relabel by reversing element order.
+        let n = a.universe_size();
+        let relabeled: Vec<u32> = (0..n as u32).rev().collect();
+        let (b, _) = a.induced_substructure(&relabeled);
+        prop_assert!(iso::isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn power_counts_are_powers(a in small_digraph(), b in small_digraph()) {
+        let squared = ops::power(&b, 2);
+        let single = hom::count_homomorphisms(&a, &b);
+        let lhs = hom::count_homomorphisms(&a, &squared);
+        prop_assert_eq!(lhs, &single * &single);
+    }
+}

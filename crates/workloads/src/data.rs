@@ -1,0 +1,136 @@
+//! Structure (data) generators.
+
+use epq_structures::{Signature, Structure};
+use rand::Rng;
+
+/// The digraph signature `{E/2}`.
+pub fn digraph_signature() -> Signature {
+    Signature::from_symbols([("E", 2)])
+}
+
+/// A random digraph structure: each ordered pair (including loops) is an
+/// edge with probability `p`.
+pub fn random_digraph<R: Rng>(rng: &mut R, n: usize, p: f64) -> Structure {
+    let mut s = Structure::new(digraph_signature(), n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if rng.gen_bool(p) {
+                s.add_tuple_named("E", &[u, v]);
+            }
+        }
+    }
+    s
+}
+
+/// A random structure over an arbitrary signature: every possible tuple
+/// is present with probability `p` (capped at `max_tuples` draws per
+/// relation for large universes).
+pub fn random_structure<R: Rng>(
+    rng: &mut R,
+    signature: &Signature,
+    n: usize,
+    p: f64,
+    max_tuples: usize,
+) -> Structure {
+    let mut s = Structure::new(signature.clone(), n);
+    for (rel, _, arity) in signature.iter() {
+        let full = (n as u64).checked_pow(arity as u32).unwrap_or(u64::MAX);
+        if full as usize <= max_tuples {
+            // Exhaustive sweep.
+            let mut tuple = vec![0u32; arity];
+            loop {
+                if rng.gen_bool(p) {
+                    s.add_tuple(rel, &tuple);
+                }
+                let mut i = 0;
+                loop {
+                    if i == arity {
+                        break;
+                    }
+                    tuple[i] += 1;
+                    if (tuple[i] as usize) < n {
+                        break;
+                    }
+                    tuple[i] = 0;
+                    i += 1;
+                }
+                if i == arity {
+                    break;
+                }
+            }
+        } else {
+            let draws = (full as f64 * p).min(max_tuples as f64) as usize;
+            let mut tuple = vec![0u32; arity];
+            for _ in 0..draws {
+                for t in tuple.iter_mut() {
+                    *t = rng.gen_range(0..n as u32);
+                }
+                s.add_tuple(rel, &tuple);
+            }
+        }
+    }
+    s
+}
+
+/// The directed path structure `0 → 1 → … → n−1`.
+pub fn path_structure(n: usize) -> Structure {
+    let mut s = Structure::new(digraph_signature(), n);
+    for i in 1..n as u32 {
+        s.add_tuple_named("E", &[i - 1, i]);
+    }
+    s
+}
+
+/// The directed cycle structure on `n` elements.
+pub fn cycle_structure(n: usize) -> Structure {
+    assert!(n >= 1);
+    let mut s = path_structure(n);
+    s.add_tuple_named("E", &[n as u32 - 1, 0]);
+    s
+}
+
+/// The paper's Example 4.3 structure: a 4-path with a self-loop at the
+/// end (`E = {(0,1), (1,2), (2,3), (3,3)}` — 0-based).
+pub fn example_4_3_structure() -> Structure {
+    let mut s = Structure::new(digraph_signature(), 4);
+    for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 3)] {
+        s.add_tuple_named("E", &[u, v]);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn digraph_density_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(random_digraph(&mut rng, 5, 0.0).tuple_count(), 0);
+        assert_eq!(random_digraph(&mut rng, 5, 1.0).tuple_count(), 25);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = random_digraph(&mut StdRng::seed_from_u64(9), 8, 0.3);
+        let b = random_digraph(&mut StdRng::seed_from_u64(9), 8, 0.3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_structure_respects_signature() {
+        let sig = Signature::from_symbols([("R", 3), ("P", 1)]);
+        let s = random_structure(&mut StdRng::seed_from_u64(4), &sig, 4, 0.5, 1000);
+        assert_eq!(s.signature(), &sig);
+        assert!(s.relation(sig.lookup("R").unwrap()).tuples().all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn deterministic_structures() {
+        assert_eq!(path_structure(4).tuple_count(), 3);
+        assert_eq!(cycle_structure(4).tuple_count(), 4);
+        assert_eq!(example_4_3_structure().tuple_count(), 4);
+    }
+}

@@ -1,0 +1,283 @@
+//! Query family generators.
+//!
+//! Families are indexed by a size parameter `k` and come in three width
+//! profiles matching the trichotomy's regimes:
+//!
+//! * flat core & contract treewidth (paths, stars, quantified chains) —
+//!   the FPT regime;
+//! * growing core treewidth, flat contract treewidth (quantified
+//!   cliques) — the Clique-equivalent regime;
+//! * growing contract treewidth (free cliques, free grids) — the
+//!   #Clique-hard regime.
+
+use epq_logic::query::infer_signature;
+use epq_logic::{parser, Formula, Query, Var};
+use epq_structures::Signature;
+use rand::Rng;
+
+/// `P_k(v0,…,vk) = ⋀ E(v_i, v_{i+1})` — the length-k directed path query
+/// (treewidth 1; FPT family).
+pub fn path_query(k: usize) -> Query {
+    assert!(k >= 1, "paths need at least one edge");
+    let atoms = (0..k).map(|i| {
+        Formula::Atom(epq_logic::Atom::new(
+            "E",
+            vec![Var::new(format!("v{i}")), Var::new(format!("v{}", i + 1))],
+        ))
+    });
+    Query::from_formula(Formula::conjunction(atoms)).expect("valid path query")
+}
+
+/// The k-cycle query `C_k` (treewidth 2; FPT family).
+pub fn cycle_query(k: usize) -> Query {
+    assert!(k >= 2, "cycles need at least 2 edges");
+    let mut atoms: Vec<Formula> = (0..k - 1)
+        .map(|i| {
+            Formula::Atom(epq_logic::Atom::new(
+                "E",
+                vec![Var::new(format!("v{i}")), Var::new(format!("v{}", i + 1))],
+            ))
+        })
+        .collect();
+    atoms.push(Formula::Atom(epq_logic::Atom::new(
+        "E",
+        vec![Var::new(format!("v{}", k - 1)), Var::new("v0")],
+    )));
+    Query::from_formula(Formula::conjunction(atoms)).expect("valid cycle query")
+}
+
+/// The k-leaf out-star query `⋀ E(c, l_i)` (treewidth 1; FPT family).
+pub fn star_query(k: usize) -> Query {
+    assert!(k >= 1);
+    let atoms = (0..k).map(|i| {
+        Formula::Atom(epq_logic::Atom::new(
+            "E",
+            vec![Var::new("c"), Var::new(format!("l{i}"))],
+        ))
+    });
+    Query::from_formula(Formula::conjunction(atoms)).expect("valid star query")
+}
+
+/// The quantified-middle path query
+/// `Q_k(x, y) = ∃u₁…u_{k−1} . E(x,u₁) ∧ … ∧ E(u_{k−1},y)`
+/// (core/contract treewidth 1; FPT family with quantifiers).
+pub fn quantified_path_query(k: usize) -> Query {
+    assert!(k >= 2, "need at least one quantified middle vertex");
+    let middles: Vec<String> = (1..k).map(|i| format!("u{i}")).collect();
+    let mut names = vec!["x".to_string()];
+    names.extend(middles.iter().cloned());
+    names.push("y".to_string());
+    let atoms = (0..k).map(|i| {
+        Formula::Atom(epq_logic::Atom::new(
+            "E",
+            vec![Var::new(&names[i]), Var::new(&names[i + 1])],
+        ))
+    });
+    let matrix = Formula::conjunction(atoms);
+    let refs: Vec<&str> = middles.iter().map(|s| s.as_str()).collect();
+    Query::from_formula(Formula::exists(&refs, matrix)).expect("valid quantified path")
+}
+
+/// The free k-clique query (growing core *and* contract treewidth:
+/// the #Clique-hard family). Re-exported from `epq-counting`.
+pub fn clique_query(k: usize) -> Query {
+    epq_counting::clique::clique_query(k)
+}
+
+/// The pendant-clique query
+/// `W_k(x) = ∃u₁…u_k . E(x,u₁) ∧ ⋀_{i<j} E(u_i,u_j)` — one free vertex
+/// attached to a fully quantified k-clique. Core treewidth grows with k,
+/// contract treewidth stays 0: the Clique-equivalent family (case 2).
+pub fn pendant_clique_query(k: usize) -> Query {
+    assert!(k >= 2);
+    let us: Vec<String> = (1..=k).map(|i| format!("u{i}")).collect();
+    let mut atoms = vec![Formula::Atom(epq_logic::Atom::new(
+        "E",
+        vec![Var::new("x"), Var::new(&us[0])],
+    ))];
+    for i in 0..k {
+        for j in i + 1..k {
+            atoms.push(Formula::Atom(epq_logic::Atom::new(
+                "E",
+                vec![Var::new(&us[i]), Var::new(&us[j])],
+            )));
+        }
+    }
+    let refs: Vec<&str> = us.iter().map(|s| s.as_str()).collect();
+    Query::from_formula(Formula::exists(&refs, Formula::conjunction(atoms)))
+        .expect("valid pendant clique query")
+}
+
+/// The free `r × c` grid query (contract treewidth min(r, c): a
+/// polynomially-growing hard family).
+pub fn grid_query(rows: usize, cols: usize) -> Query {
+    assert!(rows >= 1 && cols >= 1);
+    let var = |r: usize, c: usize| format!("g{r}_{c}");
+    let mut atoms = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                atoms.push(Formula::Atom(epq_logic::Atom::new(
+                    "E",
+                    vec![Var::new(var(r, c)), Var::new(var(r, c + 1))],
+                )));
+            }
+            if r + 1 < rows {
+                atoms.push(Formula::Atom(epq_logic::Atom::new(
+                    "E",
+                    vec![Var::new(var(r, c)), Var::new(var(r + 1, c))],
+                )));
+            }
+        }
+    }
+    Query::from_formula(Formula::conjunction(atoms)).expect("valid grid query")
+}
+
+/// A seeded random conjunctive query: `vars` variables named `v0…`,
+/// `atoms` binary `E`-atoms over them, each variable quantified with
+/// probability `quantify`.
+pub fn random_cq<R: Rng>(
+    rng: &mut R,
+    vars: usize,
+    atoms: usize,
+    quantify: f64,
+) -> Query {
+    assert!(vars >= 1);
+    let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
+    let mut parts = Vec::with_capacity(atoms);
+    for _ in 0..atoms {
+        let a = rng.gen_range(0..vars);
+        let b = rng.gen_range(0..vars);
+        parts.push(Formula::Atom(epq_logic::Atom::new(
+            "E",
+            vec![Var::new(&names[a]), Var::new(&names[b])],
+        )));
+    }
+    let matrix = Formula::conjunction(parts);
+    let used = matrix.free_vars();
+    let quantified: Vec<&str> = names
+        .iter()
+        .filter(|n| used.contains(&Var::new(n.as_str())) && rng.gen_bool(quantify))
+        .map(|s| s.as_str())
+        .collect();
+    Query::from_formula(Formula::exists(&quantified, matrix)).expect("valid random CQ")
+}
+
+/// A seeded random UCQ: a disjunction of random CQ disjuncts over a
+/// shared variable pool. Which variables are quantifiable is decided
+/// globally (with probability `quantify` per variable), so no variable is
+/// liberal in one disjunct and quantified in another.
+pub fn random_ucq<R: Rng>(
+    rng: &mut R,
+    disjuncts: usize,
+    vars: usize,
+    atoms: usize,
+    quantify: f64,
+) -> Query {
+    assert!(disjuncts >= 1);
+    assert!(vars >= 1);
+    let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
+    let quantifiable: Vec<bool> =
+        (0..vars).map(|_| rng.gen_bool(quantify)).collect();
+    let parts: Vec<Formula> = (0..disjuncts)
+        .map(|_| {
+            let mut body = Vec::with_capacity(atoms);
+            for _ in 0..atoms {
+                let a = rng.gen_range(0..vars);
+                let b = rng.gen_range(0..vars);
+                body.push(Formula::Atom(epq_logic::Atom::new(
+                    "E",
+                    vec![Var::new(&names[a]), Var::new(&names[b])],
+                )));
+            }
+            let matrix = Formula::conjunction(body);
+            let used = matrix.free_vars();
+            let quantified: Vec<&str> = names
+                .iter()
+                .enumerate()
+                .filter(|(i, n)| {
+                    quantifiable[*i] && used.contains(&Var::new(n.as_str()))
+                })
+                .map(|(_, s)| s.as_str())
+                .collect();
+            Formula::exists(&quantified, matrix)
+        })
+        .collect();
+    Query::from_formula(Formula::disjunction(parts)).expect("valid random UCQ")
+}
+
+/// Parses a catalog entry; panics on error (catalog strings are static).
+pub fn parse_static(text: &str) -> (Query, Signature) {
+    let q = parser::parse_query(text).expect("static catalog query parses");
+    let sig = infer_signature([q.formula()]).expect("static catalog signature");
+    (q, sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_query_shape() {
+        let q = path_query(3);
+        assert_eq!(q.formula().atoms().len(), 3);
+        assert_eq!(q.liberal_count(), 4);
+        assert!(q.is_pp());
+    }
+
+    #[test]
+    fn cycle_query_closes() {
+        let q = cycle_query(4);
+        assert_eq!(q.formula().atoms().len(), 4);
+        assert_eq!(q.liberal_count(), 4);
+    }
+
+    #[test]
+    fn quantified_path_liberal_set() {
+        let q = quantified_path_query(3);
+        assert_eq!(q.liberal_count(), 2);
+        assert_eq!(q.formula().atoms().len(), 3);
+    }
+
+    #[test]
+    fn pendant_clique_is_single_free_variable() {
+        let q = pendant_clique_query(3);
+        assert_eq!(q.liberal_count(), 1);
+        // 1 pendant edge + C(3,2) clique atoms.
+        assert_eq!(q.formula().atoms().len(), 4);
+    }
+
+    #[test]
+    fn grid_query_atom_count() {
+        let q = grid_query(2, 3);
+        // edges of a 2×3 grid = 7.
+        assert_eq!(q.formula().atoms().len(), 7);
+        assert_eq!(q.liberal_count(), 6);
+    }
+
+    #[test]
+    fn random_cq_is_deterministic_per_seed() {
+        let a = random_cq(&mut StdRng::seed_from_u64(1), 4, 5, 0.4);
+        let b = random_cq(&mut StdRng::seed_from_u64(1), 4, 5, 0.4);
+        assert_eq!(a, b);
+        assert!(a.is_pp());
+    }
+
+    #[test]
+    fn random_ucq_has_requested_disjuncts() {
+        let q = random_ucq(&mut StdRng::seed_from_u64(2), 3, 4, 3, 0.3);
+        assert!(!q.is_pp());
+        let sig = infer_signature([q.formula()]).unwrap();
+        let ds = epq_logic::dnf::disjuncts(&q, &sig).unwrap();
+        assert_eq!(ds.len(), 3);
+    }
+
+    #[test]
+    fn star_query_center_degree() {
+        let q = star_query(5);
+        assert_eq!(q.formula().atoms().len(), 5);
+        assert_eq!(q.liberal_count(), 6);
+    }
+}

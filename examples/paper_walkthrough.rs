@@ -1,0 +1,144 @@
+//! A guided tour through every worked example in Chen & Mengel (PODS
+//! 2016), executed live. Each section prints what the paper claims and
+//! what the implementation computes.
+//!
+//! ```sh
+//! cargo run --example paper_walkthrough
+//! ```
+
+use epq::prelude::*;
+use epq_core::oracle;
+use epq_counting::brute;
+use epq_logic::dnf;
+
+fn example_c() -> Structure {
+    epq::structures::parse::parse_structure(
+        "structure { universe 4  E = { (0,1), (1,2), (2,3), (3,3) } }",
+    )
+    .unwrap()
+}
+
+fn main() {
+    let b = example_c();
+
+    println!("=== Example 2.1: liberal variables matter =====================");
+    let sig = Signature::from_symbols([("E", 2), ("S", 2)]);
+    let mut b21 = Structure::new(sig.clone(), 3);
+    b21.add_tuple_named("E", &[0, 1]);
+    b21.add_tuple_named("S", &[1, 2]);
+    for text in ["(x,y,z) := E(x,y) | S(y,z)", "(x,y,z) := E(x,y)", "(x,y) := E(x,y)"] {
+        let q = parse_query(text).unwrap();
+        let n = epq::core::count::count_ep(&q, &sig, &b21, &FptEngine).unwrap();
+        println!("  |{text}|(B) = {n}");
+    }
+    println!("  → ψ(x,y,z) and θ(x,y) count over different liberal sets.\n");
+
+    println!("=== Examples 2.2 / 2.4: the (A,S) view and components ========");
+    let q22 = parse_query(
+        "(x, x', y, z) := exists y', u, v, w . E(x,x') & E(y,y') & F(u,v) & G(u,w)",
+    )
+    .unwrap();
+    let sig22 = infer_signature([q22.formula()]).unwrap();
+    let pp22 = PpFormula::from_query(&q22, &sig22).unwrap();
+    println!("  φ = {pp22}");
+    println!(
+        "  universe A = {} elements, lib(φ) = {:?}, free(φ) = {:?}",
+        pp22.structure().universe_size(),
+        pp22.liberal_names().iter().map(|v| v.name()).collect::<Vec<_>>(),
+        pp22.free_indices().iter().map(|&i| pp22.name(i).name()).collect::<Vec<_>>(),
+    );
+    println!("  components (paper: ψ1(x,x'), ψ2(y), ψ3(z)=⊤, ψ4(∅)):");
+    for c in pp22.components() {
+        println!("    {c}");
+    }
+    println!();
+
+    println!("=== Example 4.1: inclusion–exclusion ==========================");
+    let text41 = "(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))";
+    let q41 = parse_query(text41).unwrap();
+    let ds41 = dnf::disjuncts(&q41, b.signature()).unwrap();
+    let c1 = brute::count_pp_brute(&ds41[0], &b);
+    let c2 = brute::count_pp_brute(&ds41[1], &b);
+    let c12 = brute::count_pp_brute(&PpFormula::conjoin(&[&ds41[0], &ds41[1]]), &b);
+    let whole = brute::count_ep_brute(&q41, &b);
+    println!("  |φ(B)| = |φ1| + |φ2| − |φ1∧φ2| : {whole} = {c1} + {c2} − {c12}\n");
+
+    println!("=== Examples 4.2 / 5.15: cancellation =========================");
+    let text42 = "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))";
+    let q42 = parse_query(text42).unwrap();
+    let ds42 = dnf::disjuncts(&q42, b.signature()).unwrap();
+    let raw = epq::core::iex::inclusion_exclusion_terms(&ds42);
+    let star42 = star(&ds42);
+    println!("  raw inclusion–exclusion terms: {}", raw.len());
+    println!("  φ* after merging counting-equivalent terms: {}", star42.len());
+    for t in &star42 {
+        println!("    {:>3} × |{}(B)|", t.coefficient.to_string(), t.formula);
+    }
+    println!("  (paper: |φ(B)| = 3·|φ1(B)| − 2·|(φ1∧φ3)(B)|)\n");
+
+    println!("=== Example 4.3: recovering pp counts from the φ-oracle ======");
+    let star41 = star(&ds41);
+    let sig_e = b.signature().clone();
+    let mut oracle_calls = 0usize;
+    let mut oracle_fn = |d: &Structure| {
+        oracle_calls += 1;
+        epq::core::count::count_ep(&q41, &sig_e, d, &FptEngine).unwrap()
+    };
+    let recovered = oracle::recover_all_free_counts(&star41, &b, &mut oracle_fn);
+    for (i, n) in &recovered.counts {
+        println!("  recovered |{}(B)| = {n}", star41[*i].formula);
+        assert_eq!(*n, brute::count_pp_brute(&star41[*i].formula, &b));
+    }
+    println!("  ({} oracle queries on products B × Cˡ)\n", recovered.oracle_queries);
+
+    println!("=== Example 5.2: counting equivalence = renaming =============");
+    let p1 = PpFormula::from_query(&parse_query("E(x,y)").unwrap(), &sig_e).unwrap();
+    let p2 = PpFormula::from_query(&parse_query("E(w,z)").unwrap(), &sig_e).unwrap();
+    println!(
+        "  E(x,y) ~count E(w,z)? {} (logically equivalent? different variables!)",
+        counting_equivalent(&p1, &p2)
+    );
+
+    println!("\n=== Example 5.7: semi-counting equivalence ====================");
+    let sig57 = Signature::from_symbols([("E", 2), ("F", 1)]);
+    let p3 = PpFormula::from_query(&parse_query("E(x,y)").unwrap(), &sig57).unwrap();
+    let p4 = PpFormula::from_query(
+        &parse_query("(x,y) := exists z . E(x,y) & F(z)").unwrap(),
+        &sig57,
+    )
+    .unwrap();
+    println!(
+        "  semi-counting equivalent: {}, counting equivalent: {}",
+        semi_counting_equivalent(&p3, &p4),
+        counting_equivalent(&p3, &p4)
+    );
+
+    println!("\n=== Example 5.21: the θ⁺ construction =========================");
+    let text521 = "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y)) \
+                   | (exists a, b, c, d . E(a,b) & E(b,c) & E(c,d))";
+    let q521 = parse_query(text521).unwrap();
+    let dec = plus_decomposition(&q521, &sig_e).unwrap();
+    println!("  θ*_af terms: {}", dec.star_af.len());
+    println!("  θ⁻_af (not entailing a sentence disjunct): {}", dec.minus_af.len());
+    println!("  θ⁺ = {{");
+    for f in &dec.plus {
+        println!("    {f}");
+    }
+    println!("  }}   (paper: θ⁺ = {{φ1, θ1}})");
+
+    println!("\n=== Theorem 3.2: the trichotomy regimes =======================");
+    for (label, text) in [
+        ("path (FPT)", "E(x,y) & E(y,z) & E(z,w)"),
+        ("pendant 3-clique (case 2)", "(x) := exists a, b, c . E(x,a) & E(a,b) & E(b,c) & E(a,c)"),
+        ("free 3-clique (case 3)", "E(x,y) & E(y,z) & E(x,z)"),
+    ] {
+        let q = parse_query(text).unwrap();
+        let sig = infer_signature([q.formula()]).unwrap();
+        let a = classify_query(&q, &sig).unwrap();
+        println!(
+            "  {label:<28} core tw {} contract tw {}",
+            a.max_core_treewidth, a.max_contract_treewidth
+        );
+    }
+    println!("\nAll paper examples reproduced. ✔");
+}

@@ -1,0 +1,15 @@
+//! The `epq` command-line tool. See `epq help`.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match epq::cli::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("epq: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

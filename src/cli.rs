@@ -1,0 +1,347 @@
+//! The `epq` command-line interface.
+//!
+//! A thin, dependency-free front end over the library: count answers,
+//! classify queries, inspect φ*/φ⁺ decompositions, decide counting
+//! equivalence, and explain relational-algebra plans. The binary in
+//! `src/bin/epq.rs` forwards to [`run`], which writes to any `Write`
+//! sink so the whole surface is unit-testable.
+
+use epq_core::classify::classify_query;
+use epq_core::count::count_ep;
+use epq_core::equivalence::{counting_equivalent, semi_counting_equivalent};
+use epq_core::iex::star;
+use epq_core::plus::plus_decomposition;
+use epq_counting::engines::{
+    BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine, RelalgEngine,
+};
+use epq_logic::dnf;
+use epq_logic::parser::parse_query;
+use epq_logic::query::{check_against_signature, infer_signature};
+use epq_logic::{PpFormula, Query};
+use epq_structures::parse::parse_structure;
+use epq_structures::{Signature, Structure};
+use std::io::Write;
+
+/// Usage text for `epq help`.
+pub const USAGE: &str = "\
+epq — counting answers to existential positive queries (Chen & Mengel, PODS 2016)
+
+USAGE:
+  epq count    --query <Q> (--data <FILE> | --data-inline <S>) [--engine <E>]
+  epq classify --query <Q>
+  epq star     --query <Q>
+  epq plus     --query <Q>
+  epq equiv    --query <Q1> --query2 <Q2>
+  epq explain  --query <Q> (--data <FILE> | --data-inline <S>)
+  epq help
+
+QUERY SYNTAX:    (x, y) := E(x,y) | (exists u . E(x,u) & E(u,y))
+STRUCTURE SYNTAX: structure { universe 4  E = { (0,1), (1,2) } }
+ENGINES:         fpt (default) | brute-force | relalg | hom-dp
+";
+
+/// Runs the CLI with `args` (excluding the program name), writing to
+/// `out`. Returns an error message on failure.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
+    let io = |e: std::io::Error| format!("I/O error: {e}");
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => {
+            write!(out, "{USAGE}").map_err(io)
+        }
+        Some("count") => {
+            let query = required(args, "--query")?;
+            let b = load_structure(args)?;
+            let engine = engine_from(args)?;
+            let (q, sig) = prepare(&query, Some(&b))?;
+            let n = count_ep(&q, &sig, &b, engine.as_ref())
+                .map_err(|e| e.to_string())?;
+            writeln!(out, "{n}").map_err(io)
+        }
+        Some("classify") => {
+            let query = required(args, "--query")?;
+            let (q, sig) = prepare(&query, None)?;
+            let analysis = classify_query(&q, &sig).map_err(|e| e.to_string())?;
+            writeln!(out, "phi+ size: {}", analysis.plus_analyses.len()).map_err(io)?;
+            for (i, a) in analysis.plus_analyses.iter().enumerate() {
+                writeln!(
+                    out,
+                    "  [{i}] core tw {:?}, contract tw {:?}: {}",
+                    a.core_treewidth, a.contract_treewidth, a.core
+                )
+                .map_err(io)?;
+            }
+            writeln!(
+                out,
+                "max core treewidth: {}\nmax contract treewidth: {}",
+                analysis.max_core_treewidth, analysis.max_contract_treewidth
+            )
+            .map_err(io)?;
+            writeln!(
+                out,
+                "regime at width bound w: FPT if w >= {}, Clique-equivalent if {} > w >= {}, else #Clique-hard",
+                analysis.max_core_treewidth.max(analysis.max_contract_treewidth),
+                analysis.max_core_treewidth,
+                analysis.max_contract_treewidth,
+            )
+            .map_err(io)
+        }
+        Some("star") => {
+            let query = required(args, "--query")?;
+            let (q, sig) = prepare(&query, None)?;
+            let ds = dnf::disjuncts(&q, &sig).map_err(|e| e.to_string())?;
+            writeln!(out, "disjuncts: {}", ds.len()).map_err(io)?;
+            for d in &ds {
+                writeln!(out, "  | {d}").map_err(io)?;
+            }
+            let terms = star(&ds);
+            writeln!(out, "phi* terms: {}", terms.len()).map_err(io)?;
+            for t in &terms {
+                writeln!(out, "  {:>3} x |{}|", t.coefficient.to_string(), t.formula)
+                    .map_err(io)?;
+            }
+            Ok(())
+        }
+        Some("plus") => {
+            let query = required(args, "--query")?;
+            let (q, sig) = prepare(&query, None)?;
+            let dec = plus_decomposition(&q, &sig).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "normalized disjuncts: {} ({} free, {} sentences)",
+                dec.disjuncts.len(),
+                dec.all_free.len(),
+                dec.sentences.len()
+            )
+            .map_err(io)?;
+            writeln!(out, "phi+ ({} formulas):", dec.plus.len()).map_err(io)?;
+            for f in &dec.plus {
+                writeln!(out, "  {f}").map_err(io)?;
+            }
+            Ok(())
+        }
+        Some("equiv") => {
+            let q1 = required(args, "--query")?;
+            let q2 = required(args, "--query2")?;
+            let (a, b) = prepare_pair(&q1, &q2)?;
+            writeln!(out, "counting equivalent: {}", counting_equivalent(&a, &b))
+                .map_err(io)?;
+            if a.is_free() && b.is_free() {
+                writeln!(
+                    out,
+                    "semi-counting equivalent: {}",
+                    semi_counting_equivalent(&a, &b)
+                )
+                .map_err(io)?;
+            }
+            Ok(())
+        }
+        Some("explain") => {
+            let query = required(args, "--query")?;
+            let b = load_structure(args)?;
+            let (q, sig) = prepare(&query, Some(&b))?;
+            let ds = dnf::disjuncts(&q, &sig).map_err(|e| e.to_string())?;
+            for (i, d) in ds.iter().enumerate() {
+                writeln!(out, "disjunct {i}: {d}").map_err(io)?;
+                for step in epq_relalg::engine::explain_pp(d, &b).steps {
+                    writeln!(out, "  {step}").map_err(io)?;
+                }
+            }
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}; try `epq help`")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn required(args: &[String], flag: &str) -> Result<String, String> {
+    flag_value(args, flag).ok_or_else(|| format!("missing required {flag} <value>"))
+}
+
+fn load_structure(args: &[String]) -> Result<Structure, String> {
+    if let Some(text) = flag_value(args, "--data-inline") {
+        return parse_structure(&text).map_err(|e| e.to_string());
+    }
+    let path = required(args, "--data")
+        .map_err(|_| "provide --data <file> or --data-inline <text>".to_string())?;
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_structure(&text).map_err(|e| e.to_string())
+}
+
+fn engine_from(args: &[String]) -> Result<Box<dyn PpCountingEngine>, String> {
+    match flag_value(args, "--engine").as_deref() {
+        None | Some("fpt") => Ok(Box::new(FptEngine)),
+        Some("brute-force") | Some("brute") => Ok(Box::new(BruteForceEngine)),
+        Some("relalg") => Ok(Box::new(RelalgEngine)),
+        Some("hom-dp") => Ok(Box::new(HomDpEngine)),
+        Some(other) => Err(format!("unknown engine {other:?}")),
+    }
+}
+
+/// Parses a query, inferring the signature (or validating against the
+/// data structure's signature when provided).
+fn prepare(query_text: &str, data: Option<&Structure>) -> Result<(Query, Signature), String> {
+    let q = parse_query(query_text).map_err(|e| e.to_string())?;
+    let sig = match data {
+        Some(b) => {
+            check_against_signature(q.formula(), b.signature())
+                .map_err(|e| e.to_string())?;
+            b.signature().clone()
+        }
+        None => infer_signature([q.formula()]).map_err(|e| e.to_string())?,
+    };
+    Ok((q, sig))
+}
+
+fn prepare_pair(t1: &str, t2: &str) -> Result<(PpFormula, PpFormula), String> {
+    let q1 = parse_query(t1).map_err(|e| e.to_string())?;
+    let q2 = parse_query(t2).map_err(|e| e.to_string())?;
+    if !q1.is_pp() || !q2.is_pp() {
+        return Err("equiv requires primitive positive queries (no |)".into());
+    }
+    let sig = infer_signature([q1.formula(), q2.formula()]).map_err(|e| e.to_string())?;
+    let a = PpFormula::from_query(&q1, &sig).map_err(|e| e.to_string())?;
+    let b = PpFormula::from_query(&q2, &sig).map_err(|e| e.to_string())?;
+    Ok((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ok(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect("command succeeds");
+        String::from_utf8(out).unwrap()
+    }
+
+    fn run_err(args: &[&str]) -> String {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let mut out = Vec::new();
+        run(&args, &mut out).expect_err("command fails")
+    }
+
+    const DATA: &str = "structure { universe 4 E = { (0,1), (1,2), (2,3), (3,3) } }";
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run_ok(&["help"]).contains("USAGE"));
+        assert!(run_ok(&[]).contains("USAGE"));
+    }
+
+    #[test]
+    fn count_subcommand() {
+        let out = run_ok(&[
+            "count",
+            "--query",
+            "(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))",
+            "--data-inline",
+            DATA,
+        ]);
+        assert_eq!(out.trim(), "24");
+    }
+
+    #[test]
+    fn count_with_each_engine() {
+        for engine in ["fpt", "brute-force", "relalg", "hom-dp"] {
+            let out = run_ok(&[
+                "count", "--query", "E(x,y)", "--data-inline", DATA, "--engine", engine,
+            ]);
+            assert_eq!(out.trim(), "4", "engine {engine}");
+        }
+    }
+
+    #[test]
+    fn classify_subcommand() {
+        let out = run_ok(&["classify", "--query", "E(x,y) & E(y,z) & E(x,z)"]);
+        assert!(out.contains("max core treewidth: 2"));
+        assert!(out.contains("max contract treewidth: 2"));
+    }
+
+    #[test]
+    fn star_subcommand_shows_cancellation() {
+        let out = run_ok(&[
+            "star",
+            "--query",
+            "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))",
+        ]);
+        assert!(out.contains("disjuncts: 3"));
+        assert!(out.contains("phi* terms: 2"));
+        assert!(out.contains("  3 x"));
+        assert!(out.contains(" -2 x"));
+    }
+
+    #[test]
+    fn plus_subcommand() {
+        let out = run_ok(&[
+            "plus",
+            "--query",
+            "(x, y) := E(x,y) | (exists a, b . E(a,b) & E(b,a))",
+        ]);
+        assert!(out.contains("1 sentences"));
+        assert!(out.contains("phi+ (2 formulas):"));
+    }
+
+    #[test]
+    fn equiv_subcommand() {
+        let out = run_ok(&[
+            "equiv", "--query", "E(x,y) & E(y,z)", "--query2", "E(a,b) & E(b,c)",
+        ]);
+        assert!(out.contains("counting equivalent: true"));
+        let out = run_ok(&[
+            "equiv", "--query", "E(x,y) & E(y,z)", "--query2", "E(a,b) & E(a,c)",
+        ]);
+        assert!(out.contains("counting equivalent: false"));
+    }
+
+    #[test]
+    fn explain_subcommand() {
+        let out = run_ok(&[
+            "explain", "--query", "E(x,y) & E(y,z)", "--data-inline", DATA,
+        ]);
+        assert!(out.contains("scan"));
+        assert!(out.contains("join"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run_err(&["count", "--query", "E(x,y)"]).contains("--data"));
+        assert!(run_err(&["count", "--query", "E(x,"]).contains("--data"));
+        assert!(run_err(&["frobnicate"]).contains("unknown subcommand"));
+        assert!(run_err(&[
+            "count", "--query", "E(x,", "--data-inline", DATA
+        ])
+        .contains("parse error"));
+        assert!(run_err(&[
+            "count", "--query", "F(x,y)", "--data-inline", DATA
+        ])
+        .contains("not in signature"));
+        assert!(run_err(&[
+            "equiv", "--query", "E(x,y) | E(y,x)", "--query2", "E(x,y)"
+        ])
+        .contains("primitive positive"));
+        assert!(run_err(&[
+            "count", "--query", "E(x,y)", "--data-inline", DATA, "--engine", "warp"
+        ])
+        .contains("unknown engine"));
+    }
+
+    #[test]
+    fn count_from_file() {
+        let dir = std::env::temp_dir().join("epq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("c.structure");
+        std::fs::write(&path, DATA).unwrap();
+        let out = run_ok(&[
+            "count", "--query", "E(x,x)", "--data", path.to_str().unwrap(),
+        ]);
+        assert_eq!(out.trim(), "1");
+    }
+}

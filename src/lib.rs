@@ -1,0 +1,60 @@
+//! # epq — Counting Answers to Existential Positive Queries
+//!
+//! A full reproduction of **Chen & Mengel, "Counting Answers to
+//! Existential Positive Queries: A Complexity Classification" (PODS
+//! 2016, arXiv:1601.03240)** as a production-quality Rust workspace.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`bigint`] | exact naturals/integers/rationals + Vandermonde solver |
+//! | [`graph`] | graphs, treewidth (exact + heuristic), nice tree decompositions, cliques |
+//! | [`structures`] | finite relational structures, homomorphisms, products, cores |
+//! | [`logic`] | ep/pp formulas, Chandra–Merlin view, DNF, contract graphs, parser |
+//! | [`relalg`] | select–project–join–union baseline engine |
+//! | [`counting`] | brute-force / #Hom-DP / FPT counting engines, clique encodings |
+//! | [`core`] | counting equivalence, φ*/φ⁺, the trichotomy classifier, oracle reductions |
+//! | [`workloads`] | query families, data generators, the social-network scenario |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use epq::prelude::*;
+//!
+//! // Parse a UCQ (Example 4.1 of the paper) and a structure, count.
+//! let b = epq::structures::parse::parse_structure(
+//!     "structure { universe 4  E = { (0,1), (1,2), (2,3), (3,3) } }",
+//! ).unwrap();
+//! let n = epq::core::count::count_ep_text(
+//!     "(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))", &b);
+//! assert_eq!(n.to_u64(), Some(24));
+//! ```
+
+pub mod cli;
+
+pub use epq_bigint as bigint;
+pub use epq_core as core;
+pub use epq_counting as counting;
+pub use epq_graph as graph;
+pub use epq_logic as logic;
+pub use epq_relalg as relalg;
+pub use epq_structures as structures;
+pub use epq_workloads as workloads;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use epq_bigint::{Integer, Natural, Rational};
+    pub use epq_core::classify::{classify_query, classify_widths, Regime};
+    pub use epq_core::count::{count_ep, count_ep_text};
+    pub use epq_core::equivalence::{counting_equivalent, semi_counting_equivalent};
+    pub use epq_core::iex::star;
+    pub use epq_core::plus::plus_decomposition;
+    pub use epq_counting::engines::{
+        BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine, RelalgEngine,
+    };
+    pub use epq_logic::parser::parse_query;
+    pub use epq_logic::query::infer_signature;
+    pub use epq_logic::{Formula, PpFormula, Query, Var};
+    pub use epq_structures::{Signature, Structure};
+}

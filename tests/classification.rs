@@ -1,0 +1,118 @@
+//! Integration tests for the trichotomy classifier over the benchmark
+//! query catalog (experiment T1's table rows).
+
+use epq::prelude::*;
+use epq_core::classify::{analyze_pp, FamilyReport};
+use epq_workloads::queries;
+
+fn family<I>(name: &str, members: I) -> FamilyReport
+where
+    I: IntoIterator<Item = (usize, Query)>,
+{
+    FamilyReport::build(
+        name,
+        members.into_iter().map(|(k, q)| {
+            let sig = infer_signature([q.formula()]).unwrap();
+            (k, q, sig)
+        }),
+    )
+    .unwrap()
+}
+
+#[test]
+fn trichotomy_table_families() {
+    // FPT regime: flat width profiles.
+    let paths = family("paths", (1..=5).map(|k| (k, queries::path_query(k))));
+    assert_eq!(paths.inferred_regime(), Regime::Fpt);
+    let stars = family("stars", (1..=5).map(|k| (k, queries::star_query(k))));
+    assert_eq!(stars.inferred_regime(), Regime::Fpt);
+    let qpaths = family(
+        "quantified-paths",
+        (2..=5).map(|k| (k, queries::quantified_path_query(k))),
+    );
+    assert_eq!(qpaths.inferred_regime(), Regime::Fpt);
+    let cycles = family("cycles", (3..=6).map(|k| (k, queries::cycle_query(k))));
+    assert_eq!(cycles.inferred_regime(), Regime::Fpt);
+
+    // Case 2: pendant cliques (core grows, contract flat).
+    let pendant = family(
+        "pendant-cliques",
+        (2..=4).map(|k| (k, queries::pendant_clique_query(k))),
+    );
+    assert_eq!(pendant.inferred_regime(), Regime::CliqueEquivalent);
+
+    // Case 3: free cliques and growing grids.
+    let cliques =
+        family("cliques", (2..=4).map(|k| (k, queries::clique_query(k))));
+    assert_eq!(cliques.inferred_regime(), Regime::SharpCliqueHard);
+    let grids = family(
+        "grids",
+        (1..=3).map(|k| (k, queries::grid_query(k, k))),
+    );
+    assert_eq!(grids.inferred_regime(), Regime::SharpCliqueHard);
+}
+
+#[test]
+fn grid_widths_match_theory() {
+    // The k×k grid query has core treewidth k (its Gaifman graph is the
+    // grid, which is a core once augmented) and contract treewidth k.
+    for k in 2..=3usize {
+        let q = queries::grid_query(k, k);
+        let sig = infer_signature([q.formula()]).unwrap();
+        let a = classify_query(&q, &sig).unwrap();
+        assert_eq!(a.max_core_treewidth, k, "grid {k}x{k}");
+    }
+}
+
+#[test]
+fn classification_goes_through_plus_for_ucqs() {
+    // K3(x,y,z) ∨ E(x,y): the triangle disjunct *entails* the edge
+    // disjunct (its answers are a subset), so inclusion–exclusion cancels
+    // it out of φ* — K3∧E glues to K3 itself and the +1/−1 coefficients
+    // annihilate. The classifier therefore sees only treewidth 1: the
+    // cancellation step genuinely lowers the classification, exactly the
+    // phenomenon Example 4.2 illustrates.
+    let text = "(x,y,z) := (E(x,y) & E(y,z) & E(x,z)) | E(x,y)";
+    let q = parse_query(text).unwrap();
+    let sig = infer_signature([q.formula()]).unwrap();
+    let a = classify_query(&q, &sig).unwrap();
+    assert_eq!(a.plus_analyses.len(), 1);
+    assert_eq!(a.max_core_treewidth, 1);
+    // Sanity: a *standalone* triangle query does have treewidth 2.
+    let triangle = parse_query("E(x,y) & E(y,z) & E(x,z)").unwrap();
+    let a2 = classify_query(&triangle, &sig).unwrap();
+    assert_eq!(a2.max_core_treewidth, 2);
+}
+
+#[test]
+fn analyses_report_exact_bounds_for_small_queries() {
+    let q = queries::clique_query(4);
+    let sig = infer_signature([q.formula()]).unwrap();
+    let pp = PpFormula::from_query(&q, &sig).unwrap();
+    let analysis = analyze_pp(&pp);
+    assert!(analysis.core_treewidth.is_exact());
+    assert!(analysis.contract_treewidth.is_exact());
+    assert_eq!(analysis.core_treewidth.upper(), 3);
+}
+
+#[test]
+fn sentence_only_queries_classify_by_their_core() {
+    // θ = ∃x1..x3 clique: φ⁺ = {θ}; the core is the triangle → core tw 2,
+    // contract tw 0 (no liberal variables) — case-2 profile.
+    let q = parse_query("exists a, b, c . E(a,b) & E(b,c) & E(a,c)").unwrap();
+    let sig = infer_signature([q.formula()]).unwrap();
+    let a = classify_query(&q, &sig).unwrap();
+    assert_eq!(a.max_core_treewidth, 2);
+    assert_eq!(a.max_contract_treewidth, 0);
+}
+
+#[test]
+fn redundancy_is_removed_before_measuring() {
+    // A path query padded with duplicated atoms is still width 1.
+    let text = "E(x,y) & E(y,z) & E(x,y) & E(y,z)";
+    let q = parse_query(text).unwrap();
+    let sig = infer_signature([q.formula()]).unwrap();
+    let a = classify_query(&q, &sig).unwrap();
+    assert_eq!(a.max_core_treewidth, 1);
+    assert_eq!(a.max_contract_treewidth, 1);
+}

@@ -1,0 +1,149 @@
+//! Property-based cross-checking: every counting path through the
+//! workspace must agree on random queries and random structures.
+//!
+//! The paths compared:
+//! * brute-force ep evaluation (syntax-directed, the ground truth);
+//! * the φ*/φ⁺ pipeline with the FPT engine (`epq-core`);
+//! * the φ*/φ⁺ pipeline with the brute-force pp engine;
+//! * relational-algebra UCQ materialization (`epq-relalg`);
+//! * disjunct-level brute union counting.
+
+use epq::prelude::*;
+use epq_counting::brute;
+use epq_logic::dnf;
+use epq_workloads::{data, queries};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn check_all_paths(query: &Query, b: &Structure) {
+    let sig = b.signature().clone();
+    let expected = brute::count_ep_brute(query, b);
+
+    let via_fpt = epq::core::count::count_ep(query, &sig, b, &FptEngine).unwrap();
+    assert_eq!(via_fpt, expected, "φ* pipeline + FPT engine\nquery: {query}\nB: {b}");
+
+    let via_bf = epq::core::count::count_ep(query, &sig, b, &BruteForceEngine).unwrap();
+    assert_eq!(via_bf, expected, "φ* pipeline + brute engine\nquery: {query}");
+
+    let ds = dnf::disjuncts(query, &sig).unwrap();
+    let via_relalg = epq::relalg::count_ucq(&ds, b);
+    assert_eq!(via_relalg, expected, "relalg union\nquery: {query}\nB: {b}");
+
+    let via_disjuncts = brute::count_disjuncts_brute(&ds, b);
+    assert_eq!(via_disjuncts, expected, "disjunct union\nquery: {query}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_paths_agree_on_random_cqs(
+        qseed in 0u64..5000,
+        sseed in 0u64..5000,
+        vars in 2usize..5,
+        atoms in 1usize..5,
+        n in 1usize..5,
+    ) {
+        let query = queries::random_cq(&mut StdRng::seed_from_u64(qseed), vars, atoms, 0.4);
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(sseed), n, 0.35);
+        check_all_paths(&query, &b);
+    }
+
+    #[test]
+    fn all_paths_agree_on_random_ucqs(
+        qseed in 0u64..5000,
+        sseed in 0u64..5000,
+        disjuncts in 2usize..4,
+        vars in 2usize..4,
+        atoms in 1usize..4,
+        n in 1usize..4,
+    ) {
+        let query = queries::random_ucq(
+            &mut StdRng::seed_from_u64(qseed), disjuncts, vars, atoms, 0.35);
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(sseed), n, 0.4);
+        check_all_paths(&query, &b);
+    }
+
+    #[test]
+    fn product_law_holds_for_random_pp(
+        qseed in 0u64..5000,
+        s1 in 0u64..5000,
+        s2 in 0u64..5000,
+    ) {
+        // |ψ(D1 × D2)| = |ψ(D1)|·|ψ(D2)| (the key fact behind Example 4.3).
+        let query = queries::random_cq(&mut StdRng::seed_from_u64(qseed), 3, 3, 0.4);
+        let sig = infer_signature([query.formula()]).unwrap();
+        let pp = PpFormula::from_query(&query, &sig).unwrap();
+        let d1 = data::random_digraph(&mut StdRng::seed_from_u64(s1), 3, 0.4);
+        let d2 = data::random_digraph(&mut StdRng::seed_from_u64(s2), 2, 0.5);
+        let product = epq::structures::ops::direct_product(&d1, &d2);
+        let lhs = brute::count_pp_brute(&pp, &product);
+        let rhs = brute::count_pp_brute(&pp, &d1) * brute::count_pp_brute(&pp, &d2);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn component_law_holds_for_random_pp(
+        qseed in 0u64..5000,
+        sseed in 0u64..5000,
+    ) {
+        // |φ(B)| = Π over components (Section 2.1).
+        let query = queries::random_cq(&mut StdRng::seed_from_u64(qseed), 4, 3, 0.3);
+        let sig = infer_signature([query.formula()]).unwrap();
+        let pp = PpFormula::from_query(&query, &sig).unwrap();
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(sseed), 3, 0.4);
+        let whole = brute::count_pp_brute(&pp, &b);
+        let product = pp
+            .components()
+            .iter()
+            .map(|c| brute::count_pp_brute(c, &b))
+            .fold(Natural::one(), |acc, x| acc * x);
+        prop_assert_eq!(whole, product);
+    }
+
+    #[test]
+    fn counting_equivalence_decision_is_sound(
+        qa in 0u64..3000,
+        qb in 0u64..3000,
+        battery_seed in 0u64..1000,
+    ) {
+        // Theorem 5.4 soundness: if the decision procedure says
+        // "equivalent", counts agree on random structures; if it says
+        // "not equivalent", we at least never find the procedure claiming
+        // equality where a battery structure separates the counts.
+        let a = queries::random_cq(&mut StdRng::seed_from_u64(qa), 3, 2, 0.3);
+        let b = queries::random_cq(&mut StdRng::seed_from_u64(qb), 3, 2, 0.3);
+        let sig = data::digraph_signature();
+        let pa = PpFormula::from_query(&a, &sig).unwrap();
+        let pb = PpFormula::from_query(&b, &sig).unwrap();
+        let decided = counting_equivalent(&pa, &pb);
+        let mut rng = StdRng::seed_from_u64(battery_seed);
+        for i in 0..4 {
+            let s = data::random_digraph(&mut rng, 1 + (i % 3), 0.4);
+            let ca = brute::count_pp_brute(&pa, &s);
+            let cb = brute::count_pp_brute(&pb, &s);
+            if decided {
+                prop_assert_eq!(ca, cb, "procedure claimed equivalence");
+            }
+        }
+    }
+
+    #[test]
+    fn star_identity_on_random_ucqs(
+        qseed in 0u64..3000,
+        sseed in 0u64..3000,
+    ) {
+        // Proposition 5.16: |φ(B)| = Σ cᵢ|φᵢ*(B)| for all-free UCQs.
+        let query = queries::random_ucq(
+            &mut StdRng::seed_from_u64(qseed), 2, 3, 2, 0.0);
+        let sig = data::digraph_signature();
+        let ds = dnf::disjuncts(&query, &sig).unwrap();
+        prop_assume!(ds.iter().all(|d| d.is_free()));
+        let star_terms = star(&ds);
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(sseed), 3, 0.4);
+        let via_star = epq_core::iex::evaluate_signed_sum(&star_terms, &b, &FptEngine);
+        let direct = brute::count_disjuncts_brute(&ds, &b);
+        prop_assert_eq!(via_star, direct);
+    }
+}
