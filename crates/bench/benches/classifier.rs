@@ -66,5 +66,10 @@ fn plus_with_sentences(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, classify_families, plus_construction_vs_disjunct_count, plus_with_sentences);
+criterion_group!(
+    benches,
+    classify_families,
+    plus_construction_vs_disjunct_count,
+    plus_with_sentences
+);
 criterion_main!(benches);

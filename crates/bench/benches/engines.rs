@@ -30,13 +30,9 @@ fn engines_on_quantified_path(c: &mut Criterion) {
             if engine.name() == "brute-force" && n > 32 {
                 continue; // quadratic × hom-check blowup; series recorded up to 32
             }
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), n),
-                &n,
-                |bencher, _| {
-                    bencher.iter(|| engine.count(&pp, &b));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(engine.name(), n), &n, |bencher, _| {
+                bencher.iter(|| engine.count(&pp, &b));
+            });
         }
     }
     group.finish();
@@ -50,15 +46,14 @@ fn engines_on_free_path(c: &mut Criterion) {
     group.sample_size(10);
     for n in [8usize, 16, 32] {
         let b = data::random_digraph(&mut StdRng::seed_from_u64(7 + n as u64), n, 0.1);
-        for engine in [&HomDpEngine as &dyn PpCountingEngine, &FptEngine, &RelalgEngine]
-        {
-            group.bench_with_input(
-                BenchmarkId::new(engine.name(), n),
-                &n,
-                |bencher, _| {
-                    bencher.iter(|| engine.count(&pp, &b));
-                },
-            );
+        for engine in [
+            &HomDpEngine as &dyn PpCountingEngine,
+            &FptEngine,
+            &RelalgEngine,
+        ] {
+            group.bench_with_input(BenchmarkId::new(engine.name(), n), &n, |bencher, _| {
+                bencher.iter(|| engine.count(&pp, &b));
+            });
         }
     }
     group.finish();

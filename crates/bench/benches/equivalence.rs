@@ -10,15 +10,18 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn pp(text: &str) -> PpFormula {
-    PpFormula::from_query(&parse_query(text).unwrap(), &data::digraph_signature())
-        .unwrap()
+    PpFormula::from_query(&parse_query(text).unwrap(), &data::digraph_signature()).unwrap()
 }
 
 fn curated_pairs(c: &mut Criterion) {
     let pairs = [
         ("equiv-rename", "E(x,y) & E(y,z)", "E(a,b) & E(b,c)"),
         ("inequiv-shape", "E(x,y) & E(y,z)", "E(a,b) & E(a,c)"),
-        ("equiv-quantified", "(x) := exists u . E(x,u)", "(y) := exists v . E(y,v)"),
+        (
+            "equiv-quantified",
+            "(x) := exists u . E(x,u)",
+            "(y) := exists v . E(y,v)",
+        ),
     ];
     let mut group = c.benchmark_group("E5/decision");
     group.sample_size(20);
@@ -63,8 +66,7 @@ fn random_pairs(c: &mut Criterion) {
     let pairs: Vec<(PpFormula, PpFormula)> = (0..8u64)
         .map(|seed| {
             let qa = queries::random_cq(&mut StdRng::seed_from_u64(seed), 3, 3, 0.3);
-            let qb =
-                queries::random_cq(&mut StdRng::seed_from_u64(seed + 50), 3, 3, 0.3);
+            let qb = queries::random_cq(&mut StdRng::seed_from_u64(seed + 50), 3, 3, 0.3);
             (
                 PpFormula::from_query(&qa, &sig).unwrap(),
                 PpFormula::from_query(&qb, &sig).unwrap(),
@@ -84,5 +86,11 @@ fn random_pairs(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, curated_pairs, growing_liberal_sets, semi_counting, random_pairs);
+criterion_group!(
+    benches,
+    curated_pairs,
+    growing_liberal_sets,
+    semi_counting,
+    random_pairs
+);
 criterion_main!(benches);

@@ -66,5 +66,10 @@ fn pendant_clique_in_k(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, clique_counting_in_k, pendant_clique_in_n, pendant_clique_in_k);
+criterion_group!(
+    benches,
+    clique_counting_in_k,
+    pendant_clique_in_n,
+    pendant_clique_in_k
+);
 criterion_main!(benches);

@@ -13,10 +13,8 @@ use rand::SeedableRng;
 
 /// Example 4.2's UCQ (three rotated 2-paths over {w,x,y,z}).
 fn example_4_2_disjuncts() -> Vec<epq_logic::PpFormula> {
-    let q = parse_query(
-        "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))",
-    )
-    .unwrap();
+    let q = parse_query("(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))")
+        .unwrap();
     dnf::disjuncts(&q, &data::digraph_signature()).unwrap()
 }
 

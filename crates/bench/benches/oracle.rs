@@ -4,7 +4,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use epq_core::count::{count_ep, count_ep_with};
 use epq_core::iex::star;
-use epq_core::oracle::{find_distinguishing_structure, recover_all_free_counts, recover_plus_counts};
+use epq_core::oracle::{
+    find_distinguishing_structure, recover_all_free_counts, recover_plus_counts,
+};
 use epq_core::plus::plus_decomposition;
 use epq_counting::engines::FptEngine;
 use epq_logic::dnf;
@@ -23,8 +25,7 @@ fn example_4_3_recovery(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("recover-all-free", |bench| {
         bench.iter(|| {
-            let mut oracle =
-                |d: &Structure| count_ep(&query, &sig, d, &FptEngine).unwrap();
+            let mut oracle = |d: &Structure| count_ep(&query, &sig, d, &FptEngine).unwrap();
             recover_all_free_counts(&star_terms, &b, &mut oracle)
         });
     });
@@ -37,8 +38,7 @@ fn distinguishing_structure_search(c: &mut Criterion) {
     let sig = data::digraph_signature();
     let ds = dnf::disjuncts(&query, &sig).unwrap();
     let star_terms = star(&ds);
-    let reps: Vec<&epq_logic::PpFormula> =
-        star_terms.iter().map(|t| &t.formula).collect();
+    let reps: Vec<&epq_logic::PpFormula> = star_terms.iter().map(|t| &t.formula).collect();
     let mut group = c.benchmark_group("E3/lemma-5-12-search");
     group.sample_size(10);
     group.bench_function("find-distinguishing", |bench| {
@@ -59,9 +59,8 @@ fn general_case_recovery(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("recover-plus", |bench| {
         bench.iter(|| {
-            let mut oracle = |d: &Structure| {
-                count_ep_with(&dec, query.liberal_count(), d, &FptEngine)
-            };
+            let mut oracle =
+                |d: &Structure| count_ep_with(&dec, query.liberal_count(), d, &FptEngine);
             recover_plus_counts(&dec, query.liberal_count(), &b, &mut oracle)
         });
     });

@@ -10,10 +10,12 @@ use epq_core::classify::FamilyReport;
 use epq_core::count::{count_ep, count_ep_with};
 use epq_core::equivalence::{counting_equivalent, empirically_counting_equivalent};
 use epq_core::iex::{evaluate_signed_sum, inclusion_exclusion_terms, star};
-use epq_core::plus::plus_decomposition;
 use epq_core::oracle;
+use epq_core::plus::plus_decomposition;
 use epq_counting::brute;
-use epq_counting::engines::{all_engines, BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine};
+use epq_counting::engines::{
+    all_engines, BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine,
+};
 use epq_graph::cliques;
 use epq_logic::parser::parse_query;
 use epq_logic::query::infer_signature;
@@ -77,9 +79,7 @@ fn main() {
 fn a1_distinguisher_ablation() {
     println!("== A1 (ablation): distinguishing structures — search vs amplification ==");
     let sig = data::digraph_signature();
-    let make = |text: &str| {
-        PpFormula::from_query(&parse_query(text).unwrap(), &sig).unwrap()
-    };
+    let make = |text: &str| PpFormula::from_query(&parse_query(text).unwrap(), &sig).unwrap();
     let f1 = make("E(x,y)");
     let f2 = make("(x, y) := E(x,y) & E(y,y)");
     let f3 = make("(x, y) := E(x,y) & E(y,x)");
@@ -234,27 +234,44 @@ fn t1_trichotomy_table() {
     );
     println!("{}", rule(&widths));
     let families = vec![
-        ("paths P_k", family("paths", (1..=6).map(|k| (k, queries::path_query(k))))),
-        ("stars S_k", family("stars", (1..=6).map(|k| (k, queries::star_query(k))))),
-        ("cycles C_k", family("cycles", (3..=6).map(|k| (k, queries::cycle_query(k))))),
+        (
+            "paths P_k",
+            family("paths", (1..=6).map(|k| (k, queries::path_query(k)))),
+        ),
+        (
+            "stars S_k",
+            family("stars", (1..=6).map(|k| (k, queries::star_query(k)))),
+        ),
+        (
+            "cycles C_k",
+            family("cycles", (3..=6).map(|k| (k, queries::cycle_query(k)))),
+        ),
         (
             "exists-paths Q_k",
-            family("qpaths", (2..=6).map(|k| (k, queries::quantified_path_query(k)))),
+            family(
+                "qpaths",
+                (2..=6).map(|k| (k, queries::quantified_path_query(k))),
+            ),
         ),
         (
             "pendant cliques W_k",
-            family("pendant", (2..=5).map(|k| (k, queries::pendant_clique_query(k)))),
+            family(
+                "pendant",
+                (2..=5).map(|k| (k, queries::pendant_clique_query(k))),
+            ),
         ),
         (
             "free cliques K_k",
             family("cliques", (2..=5).map(|k| (k, queries::clique_query(k)))),
         ),
-        ("free grids G_kxk", family("grids", (1..=3).map(|k| (k, queries::grid_query(k, k))))),
+        (
+            "free grids G_kxk",
+            family("grids", (1..=3).map(|k| (k, queries::grid_query(k, k)))),
+        ),
     ];
     for (label, fam) in families {
         let cores: Vec<String> = fam.measures.iter().map(|m| m.1.to_string()).collect();
-        let contracts: Vec<String> =
-            fam.measures.iter().map(|m| m.2.to_string()).collect();
+        let contracts: Vec<String> = fam.measures.iter().map(|m| m.2.to_string()).collect();
         println!(
             "{}",
             row(
@@ -299,15 +316,20 @@ fn e2_cancellation() {
     let ds = dnf::disjuncts(&query, &sig).unwrap();
     let raw = inclusion_exclusion_terms(&ds);
     let star_terms = star(&ds);
-    let tw = |pp: &PpFormula| {
-        epq_graph::treewidth_exact(&pp.structure().gaifman_graph()).unwrap()
-    };
-    println!("  raw terms: {} (max tw {})", raw.len(), raw.iter().map(|t| tw(&t.formula)).max().unwrap());
+    let tw = |pp: &PpFormula| epq_graph::treewidth_exact(&pp.structure().gaifman_graph()).unwrap();
+    println!(
+        "  raw terms: {} (max tw {})",
+        raw.len(),
+        raw.iter().map(|t| tw(&t.formula)).max().unwrap()
+    );
     println!(
         "  phi* terms: {} (max tw {}), coefficients {:?}",
         star_terms.len(),
         star_terms.iter().map(|t| tw(&t.formula)).max().unwrap(),
-        star_terms.iter().map(|t| t.coefficient.to_i64().unwrap()).collect::<Vec<_>>()
+        star_terms
+            .iter()
+            .map(|t| t.coefficient.to_i64().unwrap())
+            .collect::<Vec<_>>()
     );
     // Measured payoff: evaluate both signed sums on a random structure.
     let b = data::random_digraph(&mut StdRng::seed_from_u64(42), 48, 0.12);
@@ -337,8 +359,7 @@ fn e3_oracle_recovery() {
     let b = data::example_4_3_structure();
     let ds = dnf::disjuncts(&query, &sig).unwrap();
     let star_terms = star(&ds);
-    let mut oracle_fn =
-        |d: &Structure| count_ep(&query, &sig, d, &FptEngine).unwrap();
+    let mut oracle_fn = |d: &Structure| count_ep(&query, &sig, d, &FptEngine).unwrap();
     let recovered = oracle::recover_all_free_counts(&star_terms, &b, &mut oracle_fn);
     for (i, n) in &recovered.counts {
         let direct = brute::count_pp_brute(&star_terms[*i].formula, &b);
@@ -365,7 +386,11 @@ fn e4_theta_plus() {
         dec.all_free.len(),
         dec.sentences.len()
     );
-    println!("  theta*_af: {} terms; theta-_af: {}", dec.star_af.len(), dec.minus_af.len());
+    println!(
+        "  theta*_af: {} terms; theta-_af: {}",
+        dec.star_af.len(),
+        dec.minus_af.len()
+    );
     println!("  theta+ =");
     for f in &dec.plus {
         println!("    {f}");
@@ -382,13 +407,22 @@ fn e5_counting_equivalence() {
         ("E(x,y) & E(y,z)", "E(a,b) & E(b,c)", true),
         ("E(x,y) & E(y,z)", "E(a,b) & E(a,c)", false),
         ("(x) := exists u . E(x,u)", "(y) := exists v . E(y,v)", true),
-        ("(x) := exists u . E(x,u)", "(y) := exists v . E(v,y)", false),
+        (
+            "(x) := exists u . E(x,u)",
+            "(y) := exists v . E(v,y)",
+            false,
+        ),
     ];
     let widths = [30, 30, 10, 12];
     println!(
         "{}",
         row(
-            &["phi1".into(), "phi2".into(), "decided".into(), "median us".into()],
+            &[
+                "phi1".into(),
+                "phi2".into(),
+                "decided".into(),
+                "median us".into()
+            ],
             &widths
         )
     );
@@ -404,7 +438,12 @@ fn e5_counting_equivalence() {
         println!(
             "{}",
             row(
-                &[ta.into(), tb.into(), decided.to_string(), format!("{us:.0}")],
+                &[
+                    ta.into(),
+                    tb.into(),
+                    decided.to_string(),
+                    format!("{us:.0}")
+                ],
                 &widths
             )
         );
@@ -446,8 +485,7 @@ fn e6_general_recovery() {
         calls += 1;
         count_ep_with(&dec, query.liberal_count(), d, &FptEngine)
     };
-    let recovered =
-        oracle::recover_plus_counts(&dec, query.liberal_count(), &b, &mut oracle_fn);
+    let recovered = oracle::recover_plus_counts(&dec, query.liberal_count(), &b, &mut oracle_fn);
     for (formula, n) in &recovered {
         let direct = brute::count_pp_brute(formula, &b);
         println!(
@@ -484,7 +522,11 @@ fn f1_engine_scaling() {
         let mut cells = vec![n.to_string()];
         let mut count = String::new();
         for engine in all_engines() {
-            let runs = if engine.name() == "brute-force" && n > 64 { 1 } else { 3 };
+            let runs = if engine.name() == "brute-force" && n > 64 {
+                1
+            } else {
+                3
+            };
             let (c, us) = time_engine(engine.as_ref(), &pp, &b, runs);
             count = c;
             cells.push(format!("{us:.0}"));
@@ -545,15 +587,19 @@ fn f2_sharp_clique_hardness() {
     println!(
         "{}",
         row(
-            &["k".into(), "#k-cliques".into(), "query-count us".into(), "graph-alg us".into()],
+            &[
+                "k".into(),
+                "#k-cliques".into(),
+                "query-count us".into(),
+                "graph-alg us".into()
+            ],
             &widths
         )
     );
     println!("{}", rule(&widths));
     for k in 2..=5usize {
         let direct = cliques::count_k_cliques(&g, k);
-        let via_query =
-            epq_counting::clique::count_cliques_via_answers(&g, k, &FptEngine);
+        let via_query = epq_counting::clique::count_cliques_via_answers(&g, k, &FptEngine);
         assert_eq!(via_query.to_u64().unwrap() as u128, direct);
         let query_us = time_us(1, || {
             let _ = epq_counting::clique::count_cliques_via_answers(&g, k, &FptEngine);
@@ -583,14 +629,21 @@ fn f3_case_two_scaling() {
     let widths = [6, 8, 12, 14];
     println!(
         "{}",
-        row(&["k".into(), "n".into(), "count".into(), "fpt us".into()], &widths)
+        row(
+            &["k".into(), "n".into(), "count".into(), "fpt us".into()],
+            &widths
+        )
     );
     println!("{}", rule(&widths));
     for k in 2..=4usize {
         let query = queries::pendant_clique_query(k);
         let pp = pp_of(&query);
         for n in [10usize, 20, 40] {
-            let g = epq_graph::generators::random_gnp(n, 0.4, &mut StdRng::seed_from_u64(100 + n as u64));
+            let g = epq_graph::generators::random_gnp(
+                n,
+                0.4,
+                &mut StdRng::seed_from_u64(100 + n as u64),
+            );
             let b = epq_counting::clique::graph_to_structure(&g);
             let (count, us) = time_engine(&FptEngine, &pp, &b, 1);
             println!(
@@ -630,10 +683,6 @@ fn f4_random_ucq_cancellation() {
     let avg: f64 = survivors.iter().sum::<usize>() as f64 / samples as f64;
     let min = survivors.iter().min().unwrap();
     let max = survivors.iter().max().unwrap();
-    println!(
-        "  raw terms per query: 7; surviving phi* terms: avg {avg:.2}, min {min}, max {max}"
-    );
-    println!(
-        "  queries where cancellation strictly lowered max treewidth: {tw_drops}/{samples}\n"
-    );
+    println!("  raw terms per query: 7; surviving phi* terms: avg {avg:.2}, min {min}, max {max}");
+    println!("  queries where cancellation strictly lowered max treewidth: {tw_drops}/{samples}\n");
 }

@@ -87,8 +87,7 @@ mod tests {
         let q = queries::path_query(2);
         let pp = pp_of(&q);
         let b = data::path_structure(5);
-        let (count, _) =
-            time_engine(&epq_counting::engines::FptEngine, &pp, &b, 2);
+        let (count, _) = time_engine(&epq_counting::engines::FptEngine, &pp, &b, 2);
         assert_eq!(count, "3");
     }
 

@@ -29,12 +29,18 @@ pub struct Integer {
 impl Integer {
     /// The value 0.
     pub fn zero() -> Self {
-        Integer { sign: Sign::Zero, magnitude: Natural::zero() }
+        Integer {
+            sign: Sign::Zero,
+            magnitude: Natural::zero(),
+        }
     }
 
     /// The value 1.
     pub fn one() -> Self {
-        Integer { sign: Sign::Positive, magnitude: Natural::one() }
+        Integer {
+            sign: Sign::Positive,
+            magnitude: Natural::one(),
+        }
     }
 
     /// Builds from a sign and a magnitude (normalizing the sign of zero).
@@ -80,7 +86,11 @@ impl Integer {
     /// Absolute value.
     pub fn abs(&self) -> Integer {
         Integer::from_sign_magnitude(
-            if self.is_zero() { Sign::Zero } else { Sign::Positive },
+            if self.is_zero() {
+                Sign::Zero
+            } else {
+                Sign::Positive
+            },
             self.magnitude.clone(),
         )
     }
@@ -126,7 +136,7 @@ impl Integer {
             }
             Sign::Positive => Sign::Positive,
             Sign::Negative => {
-                if exp % 2 == 0 {
+                if exp.is_multiple_of(2) {
                     Sign::Positive
                 } else {
                     Sign::Negative
@@ -165,7 +175,11 @@ impl Integer {
 
 impl From<Natural> for Integer {
     fn from(n: Natural) -> Self {
-        let sign = if n.is_zero() { Sign::Zero } else { Sign::Positive };
+        let sign = if n.is_zero() {
+            Sign::Zero
+        } else {
+            Sign::Positive
+        };
         Integer { sign, magnitude: n }
     }
 }
@@ -174,7 +188,9 @@ impl From<i64> for Integer {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => Integer::zero(),
-            Ordering::Greater => Integer::from_sign_magnitude(Sign::Positive, Natural::from(v as u64)),
+            Ordering::Greater => {
+                Integer::from_sign_magnitude(Sign::Positive, Natural::from(v as u64))
+            }
             Ordering::Less => {
                 Integer::from_sign_magnitude(Sign::Negative, Natural::from(v.unsigned_abs()))
             }
@@ -223,7 +239,10 @@ impl Neg for Integer {
             Sign::Zero => Sign::Zero,
             Sign::Positive => Sign::Negative,
         };
-        Integer { sign, magnitude: self.magnitude }
+        Integer {
+            sign,
+            magnitude: self.magnitude,
+        }
     }
 }
 
@@ -241,9 +260,7 @@ impl Add<&Integer> for &Integer {
         match (self.sign, rhs.sign) {
             (Zero, _) => rhs.clone(),
             (_, Zero) => self.clone(),
-            (a, b) if a == b => {
-                Integer::from_sign_magnitude(a, &self.magnitude + &rhs.magnitude)
-            }
+            (a, b) if a == b => Integer::from_sign_magnitude(a, &self.magnitude + &rhs.magnitude),
             _ => match self.magnitude.cmp(&rhs.magnitude) {
                 Ordering::Equal => Integer::zero(),
                 Ordering::Greater => Integer::from_sign_magnitude(
@@ -339,7 +356,11 @@ impl FromStr for Integer {
         if let Some(rest) = s.strip_prefix('-') {
             let mag: Natural = rest.parse()?;
             Ok(Integer::from_sign_magnitude(
-                if mag.is_zero() { Sign::Zero } else { Sign::Negative },
+                if mag.is_zero() {
+                    Sign::Zero
+                } else {
+                    Sign::Negative
+                },
                 mag,
             ))
         } else {

@@ -29,7 +29,11 @@ impl Matrix {
         let r = rows.len();
         let c = rows.first().map_or(0, |row| row.len());
         assert!(rows.iter().all(|row| row.len() == c), "ragged matrix rows");
-        Matrix { rows: r, cols: c, data: rows.into_iter().flatten().collect() }
+        Matrix {
+            rows: r,
+            cols: c,
+            data: rows.into_iter().flatten().collect(),
+        }
     }
 
     /// Number of rows.
@@ -96,8 +100,8 @@ pub fn solve_linear_system(a: &Matrix, b: &[Rational]) -> Option<Vec<Rational>> 
     let mut x = vec![Rational::zero(); n];
     for r in (0..n).rev() {
         let mut acc = rhs[r].clone();
-        for c in r + 1..n {
-            let delta = m.get(r, c) * &x[c];
+        for (c, xc) in x.iter().enumerate().skip(r + 1) {
+            let delta = m.get(r, c) * xc;
             acc = acc - delta;
         }
         x[r] = &acc / m.get(r, r);

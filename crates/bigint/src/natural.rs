@@ -176,9 +176,7 @@ impl Natural {
             let mut qhat = numer / vn1 as u128;
             let mut rhat = numer % vn1 as u128;
             // Correct the estimate (at most twice).
-            while qhat >> 64 != 0
-                || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128)
-            {
+            while qhat >> 64 != 0 || qhat * vn2 as u128 > ((rhat << 64) | u[j + n - 2] as u128) {
                 qhat -= 1;
                 rhat += vn1 as u128;
                 if rhat >> 64 != 0 {
@@ -405,7 +403,8 @@ impl Sub<&Natural> for &Natural {
     /// # Panics
     /// Panics on underflow; use [`Natural::checked_sub`] to handle it.
     fn sub(self, rhs: &Natural) -> Natural {
-        self.checked_sub(rhs).expect("Natural subtraction underflow")
+        self.checked_sub(rhs)
+            .expect("Natural subtraction underflow")
     }
 }
 
@@ -603,7 +602,11 @@ mod tests {
     fn karatsuba_matches_schoolbook() {
         // Construct operands well above the Karatsuba threshold.
         let a = Natural::from_limbs((1..=80u64).collect());
-        let b = Natural::from_limbs((1..=70u64).map(|x| x.wrapping_mul(0x9E3779B97F4A7C15)).collect());
+        let b = Natural::from_limbs(
+            (1..=70u64)
+                .map(|x| x.wrapping_mul(0x9E3779B97F4A7C15))
+                .collect(),
+        );
         let school = Natural::from_limbs(Natural::mul_schoolbook(a.limbs(), b.limbs()));
         assert_eq!(&a * &b, school);
     }

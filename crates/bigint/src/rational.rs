@@ -20,12 +20,18 @@ pub struct Rational {
 impl Rational {
     /// The value 0.
     pub fn zero() -> Self {
-        Rational { numerator: Integer::zero(), denominator: Natural::one() }
+        Rational {
+            numerator: Integer::zero(),
+            denominator: Natural::one(),
+        }
     }
 
     /// The value 1.
     pub fn one() -> Self {
-        Rational { numerator: Integer::one(), denominator: Natural::one() }
+        Rational {
+            numerator: Integer::one(),
+            denominator: Natural::one(),
+        }
     }
 
     /// Builds `numerator / denominator`, reducing to lowest terms.
@@ -34,20 +40,24 @@ impl Rational {
     /// Panics if `denominator` is zero.
     pub fn new(numerator: Integer, denominator: Integer) -> Self {
         assert!(!denominator.is_zero(), "Rational with zero denominator");
-        let numerator =
-            if denominator.is_negative() { -numerator } else { numerator };
+        let numerator = if denominator.is_negative() {
+            -numerator
+        } else {
+            numerator
+        };
         let den_mag = denominator.into_magnitude();
         let g = numerator.magnitude().gcd(&den_mag);
         if g.is_zero() {
             // numerator == 0
             return Rational::zero();
         }
-        let num = Integer::from_sign_magnitude(
-            numerator.sign(),
-            numerator.magnitude().div_rem(&g).0,
-        );
+        let num =
+            Integer::from_sign_magnitude(numerator.sign(), numerator.magnitude().div_rem(&g).0);
         let den = den_mag.div_rem(&g).0;
-        Rational { numerator: num, denominator: den }
+        Rational {
+            numerator: num,
+            denominator: den,
+        }
     }
 
     /// The (signed, reduced) numerator.
@@ -96,7 +106,10 @@ impl Rational {
 
 impl From<Integer> for Rational {
     fn from(i: Integer) -> Self {
-        Rational { numerator: i, denominator: Natural::one() }
+        Rational {
+            numerator: i,
+            denominator: Natural::one(),
+        }
     }
 }
 
@@ -176,7 +189,10 @@ impl Div for Rational {
 impl Neg for Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { numerator: -self.numerator, denominator: self.denominator }
+        Rational {
+            numerator: -self.numerator,
+            denominator: self.denominator,
+        }
     }
 }
 

@@ -96,7 +96,7 @@ proptest! {
         let (ia, ib) = (Integer::from(a as i64), Integer::from(b as i64));
         prop_assert_eq!((&ia + &ib).to_i64(), Some((a + b) as i64));
         prop_assert_eq!((&ia - &ib).to_i64(), Some((a - b) as i64));
-        prop_assert_eq!((&ia).cmp(&ib), a.cmp(&b));
+        prop_assert_eq!(ia.cmp(&ib), a.cmp(&b));
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! Offline shim for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment for this workspace has no access to a crates
+//! registry, so the subset of the criterion 0.5 API used by the six
+//! bench suites in `crates/bench` is reimplemented here: [`Criterion`],
+//! [`BenchmarkGroup`] (with [`BenchmarkGroup::sample_size`]),
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's bootstrapped confidence intervals, each
+//! benchmark reports the median and min/max wall-clock time over the
+//! configured sample count — enough to compare engines and spot
+//! regressions, with zero dependencies. Benches are still compiled with
+//! `harness = false` and run as ordinary binaries, so `cargo bench`
+//! (and `cargo bench --no-run` in CI) work unchanged.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque measurement-routine driver handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    iters_per_sample: u32,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting one duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call keeps lazily-initialized workloads out of
+        // the first sample.
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / self.iters_per_sample);
+        }
+    }
+}
+
+/// An identifier for one benchmark within a group, mirroring
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The top-level benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mirror criterion's CLI contract: a positional argument passed
+        // by `cargo bench -- <substring>` filters benchmark ids. Flags
+        // (`--bench`, `--exact`, the target name cargo appends) are
+        // ignored.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 10,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one(id, self.sample_size, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: group_name.into(),
+            sample_size: self.sample_size,
+            filter: self.filter.clone(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    filter: Option<String>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, self.filter.as_deref(), f);
+        self
+    }
+
+    /// Runs a benchmark that borrows a setup value.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &T),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (Reporting is incremental, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Runs one benchmark (unless `filter` excludes its id) and prints a
+/// `name  time: [min median max]` line.
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, filter: Option<&str>, mut f: F) {
+    if let Some(needle) = filter {
+        if !id.contains(needle) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(sample_size),
+        sample_size,
+        iters_per_sample: 1,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<50} (no samples: routine never called iter)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let min = b.samples[0];
+    let median = b.samples[b.samples.len() / 2];
+    let max = b.samples[b.samples.len() - 1];
+    println!(
+        "{id:<50} time: [{} {} {}]",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max)
+    );
+}
+
+/// Formats a duration with criterion-style units.
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Opaque value barrier preventing the optimizer from deleting work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function named `$name` running each
+/// `$target(&mut Criterion)` in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `fn main` running each group declared by
+/// [`criterion_group!`].
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0u32;
+        let mut c = Criterion::default();
+        c.sample_size(3)
+            .bench_function("smoke", |b| b.iter(|| calls += 1));
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from_parameter("n=2").id, "n=2");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.id, "plain");
+    }
+
+    #[test]
+    fn groups_run_with_inputs() {
+        let mut total = 0u64;
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+                b.iter(|| total += n)
+            });
+            g.finish();
+        }
+        assert_eq!(total, 15); // (1 warm-up + 2 samples) * 5
+    }
+}

@@ -61,9 +61,12 @@ pub struct PpAnalysis {
 pub fn analyze_pp(pp: &PpFormula) -> PpAnalysis {
     let core = pp.core();
     let core_treewidth = treewidth::treewidth_bound(&core.structure().gaifman_graph());
-    let contract_treewidth =
-        treewidth::treewidth_bound(&contract::contract_graph(&core));
-    PpAnalysis { core, core_treewidth, contract_treewidth }
+    let contract_treewidth = treewidth::treewidth_bound(&contract::contract_graph(&core));
+    PpAnalysis {
+        core,
+        core_treewidth,
+        contract_treewidth,
+    }
 }
 
 /// The analysis of an ep-query: its `φ⁺` with per-formula measures.
@@ -78,10 +81,7 @@ pub struct QueryAnalysis {
 }
 
 /// Computes `φ⁺` and analyzes every formula in it.
-pub fn classify_query(
-    query: &Query,
-    signature: &Signature,
-) -> Result<QueryAnalysis, LogicError> {
+pub fn classify_query(query: &Query, signature: &Signature) -> Result<QueryAnalysis, LogicError> {
     let dec = plus_decomposition(query, signature)?;
     let plus_analyses: Vec<PpAnalysis> = dec.plus.iter().map(analyze_pp).collect();
     let max_core_treewidth = plus_analyses
@@ -94,7 +94,11 @@ pub fn classify_query(
         .map(|a| a.contract_treewidth.upper())
         .max()
         .unwrap_or(0);
-    Ok(QueryAnalysis { plus_analyses, max_core_treewidth, max_contract_treewidth })
+    Ok(QueryAnalysis {
+        plus_analyses,
+        max_core_treewidth,
+        max_contract_treewidth,
+    })
 }
 
 /// Applies Theorem 3.2 given width measures and a width bound `w`
@@ -136,7 +140,10 @@ impl FamilyReport {
                 analysis.max_contract_treewidth,
             ));
         }
-        Ok(FamilyReport { name: name.into(), measures })
+        Ok(FamilyReport {
+            name: name.into(),
+            measures,
+        })
     }
 
     /// Whether the measured core treewidths grow with k (strictly larger
@@ -221,11 +228,7 @@ mod tests {
                     atoms.push(format!("E({},{})", vars[i], vars[j]));
                 }
             }
-            let text = format!(
-                "(x) := exists {} . {}",
-                vars.join(", "),
-                atoms.join(" & ")
-            );
+            let text = format!("(x) := exists {} . {}", vars.join(", "), atoms.join(" & "));
             let analysis = analyze_text(&text);
             assert_eq!(analysis.max_contract_treewidth, 0, "k={k}");
             assert_eq!(analysis.max_core_treewidth, k - 1, "k={k}");
@@ -259,9 +262,8 @@ mod tests {
     fn cancellation_can_lower_the_classification_width() {
         // Example 4.2: the raw inclusion–exclusion terms include a 4-cycle
         // (tw 2), but φ* cancels it — the analysis sees only tw 1.
-        let a = analyze_text(
-            "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))",
-        );
+        let a =
+            analyze_text("(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))");
         assert_eq!(a.max_core_treewidth, 1);
     }
 
@@ -280,8 +282,7 @@ mod tests {
     #[test]
     fn path_family_is_flat() {
         let members = (2..=5).map(|k| {
-            let atoms: Vec<String> =
-                (0..k).map(|i| format!("E(v{i},v{})", i + 1)).collect();
+            let atoms: Vec<String> = (0..k).map(|i| format!("E(v{i},v{})", i + 1)).collect();
             let q = parse_query(&atoms.join(" & ")).unwrap();
             let sig = infer_signature([q.formula()]).unwrap();
             (k, q, sig)

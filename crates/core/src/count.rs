@@ -46,8 +46,7 @@ pub fn count_ep_with(
         }
     }
     // No sentence disjunct holds: terms outside φ⁻_af count 0.
-    let keep: std::collections::BTreeSet<usize> =
-        decomposition.minus_af.iter().copied().collect();
+    let keep: std::collections::BTreeSet<usize> = decomposition.minus_af.iter().copied().collect();
     let mut acc = Integer::zero();
     for (i, term) in decomposition.star_af.iter().enumerate() {
         if !keep.contains(&i) {
@@ -69,7 +68,12 @@ pub fn count_ep(
     engine: &dyn PpCountingEngine,
 ) -> Result<Natural, LogicError> {
     let decomposition = plus_decomposition(query, signature)?;
-    Ok(count_ep_with(&decomposition, query.liberal_count(), b, engine))
+    Ok(count_ep_with(
+        &decomposition,
+        query.liberal_count(),
+        b,
+        engine,
+    ))
 }
 
 /// Convenience: parse, infer the signature, and count with the FPT
@@ -167,10 +171,12 @@ mod tests {
         let sig = Signature::from_symbols([("E", 2)]);
         let mut no_loop = Structure::new(sig, 3);
         no_loop.add_tuple_named("E", &[0, 1]);
-        assert_eq!(count_ep_text("exists a . E(a,a)", &no_loop).to_u64(), Some(0));
         assert_eq!(
-            count_ep_text("(exists a . E(a,a)) | (exists b, c . E(b,c))", &no_loop)
-                .to_u64(),
+            count_ep_text("exists a . E(a,a)", &no_loop).to_u64(),
+            Some(0)
+        );
+        assert_eq!(
+            count_ep_text("(exists a . E(a,a)) | (exists b, c . E(b,c))", &no_loop).to_u64(),
             Some(1)
         );
     }

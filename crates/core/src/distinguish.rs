@@ -44,8 +44,7 @@ pub fn separating_structure(a: &PpFormula, b: &PpFormula) -> Structure {
     let base = base_witness(a, b).expect("base witness search exhausted");
     // Padding scan: counts on B + kI are polynomials in k of degree at
     // most the number of components, so they separate for some small k.
-    let degree_bound =
-        a.components().len().max(b.components().len()) + 1;
+    let degree_bound = a.components().len().max(b.components().len()) + 1;
     for k in 1..=degree_bound.max(2) {
         let padded = ops::add_units(&base, k);
         let ca = count_pp_brute(a, &padded);
@@ -66,8 +65,7 @@ fn base_witness(a: &PpFormula, b: &PpFormula) -> Option<Structure> {
     // Candidates derived from the formulas' own structures: each
     // formula's structure, their disjoint union, and 2-fold blow-ups of
     // small element subsets.
-    let mut candidates: Vec<Structure> =
-        vec![a.structure().clone(), b.structure().clone()];
+    let mut candidates: Vec<Structure> = vec![a.structure().clone(), b.structure().clone()];
     candidates.push(ops::disjoint_union(a.structure(), b.structure()));
     for source in [a.structure(), b.structure()] {
         for e in 0..source.universe_size().min(3) as u32 {
@@ -140,14 +138,9 @@ pub fn amplified_distinguishing_structure(representatives: &[&PpFormula]) -> Str
 
 /// One induction step: `d` distinguishes `settled`; extend to also
 /// distinguish `next`.
-fn extend_distinguisher(
-    d: &Structure,
-    settled: &[&PpFormula],
-    next: &PpFormula,
-) -> Structure {
+fn extend_distinguisher(d: &Structure, settled: &[&PpFormula], next: &PpFormula) -> Structure {
     let count_next = count_pp_brute(next, d);
-    let counts: Vec<Natural> =
-        settled.iter().map(|f| count_pp_brute(f, d)).collect();
+    let counts: Vec<Natural> = settled.iter().map(|f| count_pp_brute(f, d)).collect();
     debug_assert!(counts.iter().all(|c| !c.is_zero()));
     debug_assert!(!count_next.is_zero());
     let tied = counts.iter().position(|c| *c == count_next);
@@ -177,14 +170,16 @@ fn extend_distinguisher(
             break;
         }
         l += 1;
-        assert!(l <= 64, "amplification exponent runaway (counts too close?)");
+        assert!(
+            l <= 64,
+            "amplification exponent runaway (counts too close?)"
+        );
     }
     // The construction materializes D^ℓ × D′ — existence proofs are free,
     // structures are not. Guard against an infeasible blow-up; callers in
     // that regime should use the randomized search
     // (`crate::oracle::find_distinguishing_structure`) instead.
-    let blow_up_size = (d.universe_size() as f64).powi(l as i32)
-        * d_prime.universe_size() as f64;
+    let blow_up_size = (d.universe_size() as f64).powi(l as i32) * d_prime.universe_size() as f64;
     assert!(
         blow_up_size <= 250_000.0,
         "Lemma 5.12 amplification would materialize {blow_up_size:.0} elements; \
@@ -283,18 +278,15 @@ mod end_to_end {
         // from sums on B × C^ℓ with the deterministic C.
         let sig = Signature::from_symbols([("E", 2)]);
         let f1 = PpFormula::from_query(&parse_query("E(x,y)").unwrap(), &sig).unwrap();
-        let f2 =
-            PpFormula::from_query(&parse_query("(x, y) := E(x,y) & E(y,y)").unwrap(), &sig)
-                .unwrap();
+        let f2 = PpFormula::from_query(&parse_query("(x, y) := E(x,y) & E(y,y)").unwrap(), &sig)
+            .unwrap();
         let c = amplified_distinguishing_structure(&[&f1, &f2]);
         let mut b = Structure::new(sig, 3);
         for (u, v) in [(0, 1), (1, 1), (1, 2)] {
             b.add_tuple_named("E", &[u, v]);
         }
         // "Oracle": w1·|f1(D)| + w2·|f2(D)| with secret weights 1 and 1.
-        let oracle = |d: &Structure| {
-            count_pp_brute(&f1, d) + count_pp_brute(&f2, d)
-        };
+        let oracle = |d: &Structure| count_pp_brute(&f1, d) + count_pp_brute(&f2, d);
         let xs = vec![
             Rational::from(Integer::from(count_pp_brute(&f1, &c))),
             Rational::from(Integer::from(count_pp_brute(&f2, &c))),

@@ -71,8 +71,7 @@ fn search_bijection(
             .enumerate()
             .map(|(x, &y)| (x as u32, y))
             .collect();
-        let feasible =
-            hom::homomorphism_exists_pinned(a.structure(), b.structure(), &pins);
+        let feasible = hom::homomorphism_exists_pinned(a.structure(), b.structure(), &pins);
         if feasible && search_bijection(a, b, assignment, used) {
             return true;
         }
@@ -104,8 +103,7 @@ pub fn empirically_counting_equivalent(
     battery: &[Structure],
 ) -> bool {
     battery.iter().all(|s| {
-        epq_counting::brute::count_pp_brute(a, s)
-            == epq_counting::brute::count_pp_brute(b, s)
+        epq_counting::brute::count_pp_brute(a, s) == epq_counting::brute::count_pp_brute(b, s)
     })
 }
 
@@ -144,8 +142,7 @@ pub fn blow_up(b: &Structure, t_set: &[u32], j: usize) -> Structure {
             let mut indices = vec![0usize; arity];
             loop {
                 stack_tuple.clear();
-                stack_tuple
-                    .extend((0..arity).map(|p| choices[p][indices[p]]));
+                stack_tuple.extend((0..arity).map(|p| choices[p][indices[p]]));
                 out.add_tuple(rel, &stack_tuple);
                 // Odometer.
                 let mut p = 0;
@@ -178,18 +175,12 @@ pub fn count_extendable_maps(a: &PpFormula, b: &Structure) -> Natural {
 /// Counts maps `f : S_a → S_target ⊆ B` that are **surjective onto**
 /// `targets` and extend to homomorphisms — the quantity
 /// `|surj(A, B, S)|` at the heart of Theorem 5.4's proof. Brute force.
-pub fn count_surjective_extendable_maps(
-    a: &PpFormula,
-    b: &Structure,
-    targets: &[u32],
-) -> Natural {
+pub fn count_surjective_extendable_maps(a: &PpFormula, b: &Structure, targets: &[u32]) -> Natural {
     let s = a.liberal_count();
     let mut count = Natural::zero();
     let one = Natural::one();
     epq_counting::brute::for_each_assignment(b.universe_size(), s, &mut |values| {
-        let onto = targets
-            .iter()
-            .all(|t| values.iter().any(|v| v == t));
+        let onto = targets.iter().all(|t| values.iter().any(|v| v == t));
         let within = values.iter().all(|v| targets.contains(v));
         if onto && within && a.satisfied_by(b, values) {
             count += &one;
@@ -224,8 +215,8 @@ pub fn stratified_counts_via_blow_ups(
             )
         })
         .collect();
-    let coefficients = epq_bigint::linalg::interpolate_polynomial(&points)
-        .expect("distinct j values interpolate");
+    let coefficients =
+        epq_bigint::linalg::interpolate_polynomial(&points).expect("distinct j values interpolate");
     coefficients
         .into_iter()
         .map(|c| {
@@ -240,11 +231,7 @@ pub fn stratified_counts_via_blow_ups(
 /// Theorem 5.4 pipeline): inclusion–exclusion over `T ⊆ targets` of the
 /// all-inside-`T` strata,
 /// `|surj| = Σ_{T⊆targets} (−1)^{|targets∖T|} · hom_{|S|,T}`.
-pub fn count_surjective_via_blow_ups(
-    phi: &PpFormula,
-    b: &Structure,
-    targets: &[u32],
-) -> Natural {
+pub fn count_surjective_via_blow_ups(phi: &PpFormula, b: &Structure, targets: &[u32]) -> Natural {
     let s = phi.liberal_count();
     let mut total = Integer::zero();
     let k = targets.len();
@@ -255,14 +242,20 @@ pub fn count_surjective_via_blow_ups(
             .collect();
         // hom_{|S|,T}: all liberal variables inside T. The blow-up oracle
         // here is direct counting; swap in any |φ(·)| oracle.
-        let mut oracle =
-            |d: &Structure| epq_counting::brute::count_pp_brute(phi, d);
+        let mut oracle = |d: &Structure| epq_counting::brute::count_pp_brute(phi, d);
         let strata = stratified_counts_via_blow_ups(phi, b, &t_subset, &mut oracle);
         let all_inside = strata.get(s).cloned().unwrap_or_else(Natural::zero);
-        let sign = if (k - t_subset.len()) % 2 == 0 { 1 } else { -1 };
+        let sign = if (k - t_subset.len()).is_multiple_of(2) {
+            1
+        } else {
+            -1
+        };
         total += &(&Integer::from(sign) * &Integer::from(all_inside));
     }
-    assert!(!total.is_negative(), "surjection count must be non-negative");
+    assert!(
+        !total.is_negative(),
+        "surjection count must be non-negative"
+    );
     total.into_magnitude()
 }
 
@@ -296,7 +289,9 @@ mod tests {
             &[(0, 1), (0, 2), (1, 2)],
         ];
         for (i, edges) in edge_sets.iter().enumerate() {
-            let n = 2 + (i + 2) % 3 + edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap_or(0) as usize;
+            let n = 2
+                + (i + 2) % 3
+                + edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap_or(0) as usize;
             let mut s = Structure::new(sig.clone(), n);
             for &(u, v) in *edges {
                 s.add_tuple_named("E", &[u, v]);
@@ -359,7 +354,11 @@ mod tests {
             ("E(x,y) & E(y,z)", "E(a,b) & E(b,c)", true),
             ("E(x,y) & E(y,z)", "E(a,b) & E(a,c)", false),
             ("(x) := exists u . E(x,u)", "(y) := exists v . E(y,v)", true),
-            ("(x) := exists u . E(x,u)", "(y) := exists v . E(v,y)", false),
+            (
+                "(x) := exists u . E(x,u)",
+                "(y) := exists v . E(v,y)",
+                false,
+            ),
             ("E(x,x)", "E(y,y)", true),
         ];
         for (ta, tb, expected) in pairs {
@@ -456,11 +455,10 @@ mod tests {
             b.add_tuple_named("E", &[u, v]);
         }
         let t_set = [1u32, 2u32];
-        let mut oracle =
-            |d: &Structure| epq_counting::brute::count_pp_brute(&phi, d);
+        let mut oracle = |d: &Structure| epq_counting::brute::count_pp_brute(&phi, d);
         let strata = stratified_counts_via_blow_ups(&phi, &b, &t_set, &mut oracle);
         assert_eq!(strata.len(), 3); // i = 0, 1, 2
-        // Brute-force stratified counts.
+                                     // Brute-force stratified counts.
         let mut expected = vec![Natural::zero(); 3];
         epq_counting::brute::for_each_assignment(3, 2, &mut |values| {
             if phi.satisfied_by(&b, values) {
@@ -470,7 +468,9 @@ mod tests {
         });
         assert_eq!(strata, expected);
         // Sanity: total over strata = |φ(B)|.
-        let total = strata.iter().fold(Natural::zero(), |acc, x| acc + x.clone());
+        let total = strata
+            .iter()
+            .fold(Natural::zero(), |acc, x| acc + x.clone());
         assert_eq!(total, epq_counting::brute::count_pp_brute(&phi, &b));
     }
 
@@ -484,10 +484,8 @@ mod tests {
         for text in ["E(x,y)", "E(x,y) & E(y,z)", "(x, y) := E(x,y) & E(y,y)"] {
             let phi = pp_with(text, &sig);
             for targets in [vec![0u32, 1], vec![1, 2], vec![0, 1, 2], vec![1]] {
-                let via_oracle =
-                    count_surjective_via_blow_ups(&phi, &b, &targets);
-                let direct =
-                    count_surjective_extendable_maps(&phi, &b, &targets);
+                let via_oracle = count_surjective_via_blow_ups(&phi, &b, &targets);
+                let direct = count_surjective_extendable_maps(&phi, &b, &targets);
                 assert_eq!(via_oracle, direct, "{text} onto {targets:?}");
             }
         }

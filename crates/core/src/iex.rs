@@ -45,7 +45,10 @@ pub struct SignedPp {
 pub fn inclusion_exclusion_terms(disjuncts: &[PpFormula]) -> Vec<SignedPp> {
     let s = disjuncts.len();
     assert!(s >= 1, "inclusion-exclusion needs at least one disjunct");
-    assert!(s <= 24, "inclusion-exclusion over {s} disjuncts is infeasible");
+    assert!(
+        s <= 24,
+        "inclusion-exclusion over {s} disjuncts is infeasible"
+    );
     let mut subsets: Vec<u32> = (1..(1u32 << s)).collect();
     subsets.sort_by_key(|j| (j.count_ones(), *j));
     subsets
@@ -57,7 +60,10 @@ pub fn inclusion_exclusion_terms(disjuncts: &[PpFormula]) -> Vec<SignedPp> {
                 .collect();
             let conjunction = PpFormula::conjoin(&members);
             let sign = if j.count_ones() % 2 == 1 { 1 } else { -1 };
-            SignedPp { formula: conjunction.core(), coefficient: Integer::from(sign) }
+            SignedPp {
+                formula: conjunction.core(),
+                coefficient: Integer::from(sign),
+            }
         })
         .collect()
 }
@@ -133,9 +139,7 @@ mod tests {
     /// Example 4.2 / 5.15: φ = φ1 ∨ φ2 ∨ φ3 over V = {w,x,y,z} with
     /// φ1 = E(x,y)∧E(y,z), φ2 = E(z,w)∧E(w,x), φ3 = E(w,x)∧E(x,y).
     fn example_4_2() -> (Query, Vec<PpFormula>) {
-        disjuncts_of(
-            "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))",
-        )
+        disjuncts_of("(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))")
     }
 
     #[test]
@@ -226,8 +230,10 @@ mod tests {
         let raw = inclusion_exclusion_terms(&ds);
         assert_eq!(raw.len(), 7);
         // Sizes: three singletons (+1), three pairs (−1), one triple (+1).
-        let signs: Vec<i64> =
-            raw.iter().map(|t| t.coefficient.to_i64().unwrap()).collect();
+        let signs: Vec<i64> = raw
+            .iter()
+            .map(|t| t.coefficient.to_i64().unwrap())
+            .collect();
         assert_eq!(signs, vec![1, 1, 1, -1, -1, -1, 1]);
     }
 
@@ -238,9 +244,7 @@ mod tests {
         let mut terms = star(&ds);
         terms[0].coefficient = Integer::from(-1);
         let b = example_c();
-        let result = std::panic::catch_unwind(|| {
-            evaluate_signed_sum(&terms, &b, &FptEngine)
-        });
+        let result = std::panic::catch_unwind(|| evaluate_signed_sum(&terms, &b, &FptEngine));
         assert!(result.is_err());
     }
 }

@@ -103,8 +103,10 @@ pub fn find_distinguishing_structure(representatives: &[&PpFormula]) -> Structur
 
 /// Verifies the Lemma 5.12 property for `c`.
 pub fn is_distinguishing(c: &Structure, representatives: &[&PpFormula]) -> bool {
-    let counts: Vec<Natural> =
-        representatives.iter().map(|r| count_pp_brute(r, c)).collect();
+    let counts: Vec<Natural> = representatives
+        .iter()
+        .map(|r| count_pp_brute(r, c))
+        .collect();
     if counts.iter().any(|x| x.is_zero()) {
         return false;
     }
@@ -147,7 +149,10 @@ pub fn recover_all_free_counts(
         (o2.borrow_mut())(d)
     });
     let total = *queries.borrow();
-    RecoveredCounts { counts, oracle_queries: total }
+    RecoveredCounts {
+        counts,
+        oracle_queries: total,
+    }
 }
 
 type SumFn<'a> = Rc<dyn Fn(&Structure) -> Integer + 'a>;
@@ -163,15 +168,18 @@ fn recover_with<'a>(
     // Group into semi-counting-equivalence classes.
     let mut classes: Vec<Vec<usize>> = Vec::new();
     for (i, term) in star.iter().enumerate() {
-        match classes.iter_mut().find(|class| {
-            semi_counting_equivalent(&star[class[0]].formula, &term.formula)
-        }) {
+        match classes
+            .iter_mut()
+            .find(|class| semi_counting_equivalent(&star[class[0]].formula, &term.formula))
+        {
             Some(class) => class.push(i),
             None => classes.push(vec![i]),
         }
     }
-    let representatives: Vec<&PpFormula> =
-        classes.iter().map(|class| &star[class[0]].formula).collect();
+    let representatives: Vec<&PpFormula> = classes
+        .iter()
+        .map(|class| &star[class[0]].formula)
+        .collect();
     let c = find_distinguishing_structure(&representatives);
 
     // x_j = |ψ_j(C)| (equal within a class since all counts on C are
@@ -236,11 +244,7 @@ fn split_class<'a>(
     let minimal = (0..terms.len())
         .find(|&i| {
             terms.iter().enumerate().all(|(j, (_, other, _))| {
-                j == i
-                    || !hom::homomorphism_exists(
-                        other.structure(),
-                        terms[i].1.structure(),
-                    )
+                j == i || !hom::homomorphism_exists(other.structure(), terms[i].1.structure())
             })
         })
         .expect("a hom-minimal class member exists");
@@ -254,7 +258,10 @@ fn split_class<'a>(
     // class_sum(B × Cᵢ) = cᵢ·|ψᵢ(B)|·|ψᵢ(Cᵢ)| — all other members vanish.
     let value = class_sum(&ops::direct_product(b, &c_i));
     let count_b = value.div_exact(&denominator);
-    assert!(!count_b.is_negative(), "recovered count must be non-negative");
+    assert!(
+        !count_b.is_negative(),
+        "recovered count must be non-negative"
+    );
     results.push((*index, count_b.into_magnitude()));
 
     // Remaining members: subtract ψᵢ's contribution from the sum.
@@ -310,8 +317,8 @@ pub fn recover_plus_counts(
         let a = theta.structure();
         let product = ops::direct_product(a, b);
         let observed = oracle(&product);
-        let saturated = Natural::from(a.universe_size() * b.universe_size())
-            .pow(liberal_count as u32);
+        let saturated =
+            Natural::from(a.universe_size() * b.universe_size()).pow(liberal_count as u32);
         let count = if observed == saturated && b.universe_size() > 0 {
             Natural::from(b.universe_size()).pow(liberal_count as u32)
         } else {
@@ -355,8 +362,7 @@ mod tests {
     /// separates φ1, φ2, φ1∧φ2 of Example 4.1.
     #[test]
     fn example_4_3_paper_structure_is_distinguishing() {
-        let (_, ds) =
-            disjuncts_of("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))");
+        let (_, ds) = disjuncts_of("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))");
         let phi1 = &ds[0];
         let phi2 = &ds[1];
         let conj = PpFormula::conjoin(&[phi1, phi2]);
@@ -373,8 +379,7 @@ mod tests {
     fn example_4_3_full_recovery_from_oracle() {
         // Recover |φ1(B)|, |φ2(B)|, |(φ1∧φ2)(B)| from an oracle for
         // |φ(·)| only.
-        let (query, ds) =
-            disjuncts_of("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))");
+        let (query, ds) = disjuncts_of("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))");
         let star_terms = star(&ds);
         let b = example_c();
         let sig = b.signature().clone();
@@ -394,9 +399,8 @@ mod tests {
 
     #[test]
     fn recovery_on_example_4_2_with_cancellation() {
-        let (query, ds) = disjuncts_of(
-            "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))",
-        );
+        let (query, ds) =
+            disjuncts_of("(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))");
         let star_terms = star(&ds);
         assert_eq!(star_terms.len(), 2);
         let b = example_c();
@@ -414,9 +418,7 @@ mod tests {
         let (_, ds) = disjuncts_of("(x, y) := E(x,y) | E(y,x)");
         // E(x,y) and E(y,x) with the same liberal set are semi-counting
         // equivalent (renaming) — the search must reject them.
-        let result = std::panic::catch_unwind(|| {
-            find_distinguishing_structure(&[&ds[0], &ds[1]])
-        });
+        let result = std::panic::catch_unwind(|| find_distinguishing_structure(&[&ds[0], &ds[1]]));
         assert!(result.is_err());
     }
 
@@ -436,8 +438,7 @@ mod tests {
         let mut b = Structure::new(sig.clone(), 4);
         b.add_tuple_named("E", &[0, 1]);
         b.add_tuple_named("E", &[2, 3]);
-        let mut oracle =
-            |d: &Structure| count_ep_with(&dec, query.liberal_count(), d, &FptEngine);
+        let mut oracle = |d: &Structure| count_ep_with(&dec, query.liberal_count(), d, &FptEngine);
         let recovered = recover_plus_counts(&dec, query.liberal_count(), &b, &mut oracle);
         assert_eq!(recovered.len(), 2);
         for (formula, count) in &recovered {
@@ -446,10 +447,8 @@ mod tests {
 
         // Structure with a 3-path: θ1 true, |θ1(B)| = |B|^4.
         let b2 = example_c();
-        let mut oracle2 =
-            |d: &Structure| count_ep_with(&dec, query.liberal_count(), d, &FptEngine);
-        let recovered2 =
-            recover_plus_counts(&dec, query.liberal_count(), &b2, &mut oracle2);
+        let mut oracle2 = |d: &Structure| count_ep_with(&dec, query.liberal_count(), d, &FptEngine);
+        let recovered2 = recover_plus_counts(&dec, query.liberal_count(), &b2, &mut oracle2);
         for (formula, count) in &recovered2 {
             assert_eq!(*count, count_pp_brute(formula, &b2), "{formula}");
         }

@@ -44,7 +44,10 @@ pub struct PlusDecomposition {
 impl PlusDecomposition {
     /// The formulas of `φ⁻_af`.
     pub fn minus_af_formulas(&self) -> Vec<&PpFormula> {
-        self.minus_af.iter().map(|&i| &self.star_af[i].formula).collect()
+        self.minus_af
+            .iter()
+            .map(|&i| &self.star_af[i].formula)
+            .collect()
     }
 }
 
@@ -57,19 +60,30 @@ pub fn plus_decomposition(
     let disjuncts = dnf::normalize(raw);
     let (all_free, sentences): (Vec<PpFormula>, Vec<PpFormula>) =
         disjuncts.iter().cloned().partition(|d| d.is_free());
-    let star_af = if all_free.is_empty() { Vec::new() } else { star(&all_free) };
+    let star_af = if all_free.is_empty() {
+        Vec::new()
+    } else {
+        star(&all_free)
+    };
     let minus_af: Vec<usize> = star_af
         .iter()
         .enumerate()
-        .filter(|(_, term)| {
-            !sentences.iter().any(|theta| term.formula.entails(theta))
-        })
+        .filter(|(_, term)| !sentences.iter().any(|theta| term.formula.entails(theta)))
         .map(|(i, _)| i)
         .collect();
-    let mut plus: Vec<PpFormula> =
-        minus_af.iter().map(|&i| star_af[i].formula.clone()).collect();
+    let mut plus: Vec<PpFormula> = minus_af
+        .iter()
+        .map(|&i| star_af[i].formula.clone())
+        .collect();
     plus.extend(sentences.iter().cloned());
-    Ok(PlusDecomposition { disjuncts, all_free, sentences, star_af, minus_af, plus })
+    Ok(PlusDecomposition {
+        disjuncts,
+        all_free,
+        sentences,
+        star_af,
+        minus_af,
+        plus,
+    })
 }
 
 #[cfg(test)]
@@ -135,9 +149,7 @@ mod tests {
     fn normalization_happens_before_split() {
         // A free disjunct subsumed by a sentence disjunct disappears:
         // (E(x,y) ∧ E(y,x)) ∨ ∃a,b (E(a,b) ∧ E(b,a)).
-        let dec = decompose(
-            "(x, y) := (E(x,y) & E(y,x)) | (exists a, b . E(a,b) & E(b,a))",
-        );
+        let dec = decompose("(x, y) := (E(x,y) & E(y,x)) | (exists a, b . E(a,b) & E(b,a))");
         assert_eq!(dec.disjuncts.len(), 1);
         assert!(dec.all_free.is_empty());
         assert_eq!(dec.plus.len(), 1);
@@ -160,9 +172,7 @@ mod tests {
         // φ = E(x,y) ∨ F(x,y) ∨ ∃a,b (E(a,b) ∧ F(a,b)).
         // φ*_af = {E, F, E∧F}; E∧F (glued on x,y) entails the sentence
         // ∃a,b(E(a,b)∧F(a,b)) → φ⁻_af = {E, F}.
-        let dec = decompose(
-            "(x, y) := E(x,y) | F(x,y) | (exists a, b . E(a,b) & F(a,b))",
-        );
+        let dec = decompose("(x, y) := E(x,y) | F(x,y) | (exists a, b . E(a,b) & F(a,b))");
         assert_eq!(dec.star_af.len(), 3);
         assert_eq!(dec.minus_af.len(), 2);
         assert_eq!(dec.plus.len(), 3);

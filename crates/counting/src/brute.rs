@@ -178,7 +178,10 @@ mod tests {
         b.add_tuple_named("S", &[1, 0]);
         // |φ(B)|: assignments (x,y,z) with E(x,y) (2 of them: z free) or
         // S(y,z) (2: x free); overlap when E(x,y) ∧ S(y,z) = (0,1,0): 1.
-        assert_eq!(count_text("(x,y,z) := E(x,y) | S(y,z)", &b).to_u64(), Some(3));
+        assert_eq!(
+            count_text("(x,y,z) := E(x,y) | S(y,z)", &b).to_u64(),
+            Some(3)
+        );
     }
 
     #[test]

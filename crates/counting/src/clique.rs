@@ -50,8 +50,7 @@ pub fn clique_query(k: usize) -> Query {
 
 /// The k-clique query as a pp-formula over the graph signature.
 pub fn clique_pp(k: usize) -> PpFormula {
-    PpFormula::from_query(&clique_query(k), &graph_signature())
-        .expect("clique query converts")
+    PpFormula::from_query(&clique_query(k), &graph_signature()).expect("clique query converts")
 }
 
 /// The *decision*-flavoured clique query `θ_k = ∃x₁…x_k . φ_k` (all
@@ -189,7 +188,10 @@ mod tests {
             crate::brute::count_pp_brute(&theta, &b_yes).to_u64(),
             Some(1)
         );
-        assert_eq!(crate::brute::count_pp_brute(&theta, &b_no).to_u64(), Some(0));
+        assert_eq!(
+            crate::brute::count_pp_brute(&theta, &b_no).to_u64(),
+            Some(0)
+        );
         // And through the FPT engine (which just runs the generic
         // algorithm — tractability is not required for correctness).
         assert_eq!(crate::fpt::count_pp_fpt(&theta, &b_yes).to_u64(), Some(1));
@@ -217,22 +219,15 @@ mod tests {
             for k in 2..=3usize {
                 // The query-side count (the paper's problem).
                 let vars: Vec<String> = (1..=k).map(|i| format!("u{i}")).collect();
-                let mut atoms =
-                    vec![Formula::atom("E", &["x", vars[0].as_str()])];
+                let mut atoms = vec![Formula::atom("E", &["x", vars[0].as_str()])];
                 for i in 0..k {
                     for j in i + 1..k {
-                        atoms.push(Formula::atom(
-                            "E",
-                            &[vars[i].as_str(), vars[j].as_str()],
-                        ));
+                        atoms.push(Formula::atom("E", &[vars[i].as_str(), vars[j].as_str()]));
                     }
                 }
                 let refs: Vec<&str> = vars.iter().map(|s| s.as_str()).collect();
-                let q = Query::from_formula(Formula::exists(
-                    &refs,
-                    Formula::conjunction(atoms),
-                ))
-                .unwrap();
+                let q = Query::from_formula(Formula::exists(&refs, Formula::conjunction(atoms)))
+                    .unwrap();
                 let pp = PpFormula::from_query(&q, &graph_signature()).unwrap();
                 let b = graph_to_structure(&g);
                 let via_query = crate::engines::FptEngine.count(&pp, &b);
@@ -242,8 +237,7 @@ mod tests {
                     oracle_calls += 1;
                     epq_graph::cliques::has_k_clique(h, k)
                 };
-                let via_oracle =
-                    count_pendant_cliques_via_decision_oracle(&g, k, &mut oracle);
+                let via_oracle = count_pendant_cliques_via_decision_oracle(&g, k, &mut oracle);
                 assert_eq!(via_query, via_oracle, "k = {k}");
                 assert!(oracle_calls <= g.vertex_count() * g.vertex_count());
             }

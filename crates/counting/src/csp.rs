@@ -37,7 +37,11 @@ impl CspConstraint {
         let mut sorted = scope.clone();
         sorted.sort_unstable();
         sorted.dedup();
-        assert_eq!(sorted.len(), scope.len(), "constraint scope must be distinct");
+        assert_eq!(
+            sorted.len(),
+            scope.len(),
+            "constraint scope must be distinct"
+        );
         CspConstraint { scope, allowed }
     }
 }
@@ -80,7 +84,13 @@ impl TdCounter {
                 }
             }
         }
-        TdCounter { variables, domain, constraints, nice, checks }
+        TdCounter {
+            variables,
+            domain,
+            constraints,
+            nice,
+            checks,
+        }
     }
 
     /// The width of the decomposition in use.
@@ -102,8 +112,7 @@ impl TdCounter {
             pinned[v as usize] = Some(x);
         }
         // tables[node]: bag assignment (sorted-bag order) → extension count.
-        let mut tables: Vec<HashMap<Vec<u32>, Natural>> =
-            Vec::with_capacity(self.nice.len());
+        let mut tables: Vec<HashMap<Vec<u32>, Natural>> = Vec::with_capacity(self.nice.len());
         for (node_index, node) in self.nice.nodes().iter().enumerate() {
             let table = match node {
                 NiceNode::Leaf => {
@@ -112,8 +121,7 @@ impl TdCounter {
                     t
                 }
                 NiceNode::Introduce { vertex, child } => {
-                    let bag: Vec<u32> =
-                        self.nice.bag(node_index).iter().copied().collect();
+                    let bag: Vec<u32> = self.nice.bag(node_index).iter().copied().collect();
                     let slot = bag.iter().position(|v| v == vertex).unwrap();
                     let child_table = &tables[*child];
                     let candidates: Vec<u32> = match pinned[*vertex as usize] {
@@ -130,8 +138,7 @@ impl TdCounter {
                                 let c = &self.constraints[ci];
                                 scratch.clear();
                                 scratch.extend(c.scope.iter().map(|v| {
-                                    let pos =
-                                        bag.iter().position(|b| b == v).unwrap();
+                                    let pos = bag.iter().position(|b| b == v).unwrap();
                                     key[pos]
                                 }));
                                 c.allowed.contains(&scratch)
@@ -144,8 +151,7 @@ impl TdCounter {
                     t
                 }
                 NiceNode::Forget { vertex, child } => {
-                    let child_bag: Vec<u32> =
-                        self.nice.bag(*child).iter().copied().collect();
+                    let child_bag: Vec<u32> = self.nice.bag(*child).iter().copied().collect();
                     let slot = child_bag.iter().position(|v| v == vertex).unwrap();
                     let mut t: HashMap<Vec<u32>, Natural> = HashMap::new();
                     for (child_key, count) in &tables[*child] {
@@ -156,8 +162,7 @@ impl TdCounter {
                     t
                 }
                 NiceNode::Join { left, right } => {
-                    let (small, large) = if tables[*left].len() <= tables[*right].len()
-                    {
+                    let (small, large) = if tables[*left].len() <= tables[*right].len() {
                         (&tables[*left], &tables[*right])
                     } else {
                         (&tables[*right], &tables[*left])
@@ -200,8 +205,7 @@ pub fn count_csp_brute(
             return;
         }
         let ok = constraints.iter().all(|c| {
-            let tuple: Vec<u32> =
-                c.scope.iter().map(|&v| values[v as usize]).collect();
+            let tuple: Vec<u32> = c.scope.iter().map(|&v| values[v as usize]).collect();
             c.allowed.contains(&tuple)
         });
         if ok {
@@ -216,7 +220,11 @@ pub fn count_csp_brute(
 /// matching projection of the corresponding relation of `b` (repeated
 /// elements in `a`'s tuple filter `b`'s tuples).
 pub fn hom_constraints(a: &Structure, b: &Structure) -> Vec<CspConstraint> {
-    assert_eq!(a.signature(), b.signature(), "hom constraints need equal signatures");
+    assert_eq!(
+        a.signature(),
+        b.signature(),
+        "hom constraints need equal signatures"
+    );
     let mut out = Vec::new();
     for (rel, _, _) in a.signature().iter() {
         for atom in a.relation(rel).tuples() {
@@ -271,10 +279,7 @@ mod tests {
     }
 
     fn constraint(scope: &[u32], allowed: &[&[u32]]) -> CspConstraint {
-        CspConstraint::new(
-            scope.to_vec(),
-            allowed.iter().map(|t| t.to_vec()).collect(),
-        )
+        CspConstraint::new(scope.to_vec(), allowed.iter().map(|t| t.to_vec()).collect())
     }
 
     #[test]

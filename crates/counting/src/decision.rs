@@ -144,7 +144,10 @@ mod tests {
         let q = parse_query("(x, y) := E(x,y) & E(y,y)").unwrap();
         let answer = find_answer(&q, &b).unwrap().unwrap();
         // (2,3) and (3,3) are the only answers: E(x,3) with E(3,3).
-        assert!(answer == vec![2, 3] || answer == vec![3, 3], "got {answer:?}");
+        assert!(
+            answer == vec![2, 3] || answer == vec![3, 3],
+            "got {answer:?}"
+        );
         // A genuinely unsatisfiable shape on a loop-free structure.
         let mut loopless = Structure::new(Signature::from_symbols([("E", 2)]), 3);
         loopless.add_tuple_named("E", &[0, 1]);

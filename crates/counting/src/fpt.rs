@@ -60,7 +60,11 @@ pub fn count_pp_fpt(pp: &PpFormula, b: &Structure) -> Natural {
                 }
             }
         }
-        let checker = TdCounter::new(sub.universe_size(), universe_size(b), hom_constraints(&sub, b));
+        let checker = TdCounter::new(
+            sub.universe_size(),
+            universe_size(b),
+            hom_constraints(&sub, b),
+        );
         if comp.boundary.is_empty() {
             // A sentence component: satisfiable or the whole count is 0.
             if !checker.satisfiable(&[]) {
@@ -72,9 +76,8 @@ pub fn count_pp_fpt(pp: &PpFormula, b: &Structure) -> Natural {
         let mut allowed: HashSet<Vec<u32>> = HashSet::new();
         let arity = comp.boundary.len();
         for_each_assignment(universe_size(b), arity, &mut |values| {
-            let pins: Vec<(u32, u32)> = (0..arity as u32)
-                .map(|i| (i, values[i as usize]))
-                .collect();
+            let pins: Vec<(u32, u32)> =
+                (0..arity as u32).map(|i| (i, values[i as usize])).collect();
             if checker.satisfiable(&pins) {
                 allowed.insert(values.to_vec());
             }
@@ -99,10 +102,8 @@ pub fn count_pp_fpt(pp: &PpFormula, b: &Structure) -> Natural {
     // universe: they are Gaifman-isolated quantified vertices.
     let gaifman = structure.gaifman_graph();
     for v in s as u32..universe as u32 {
-        if gaifman.degree(v) == 0 && !in_any_tuple(structure, v) {
-            if universe_size(b) == 0 {
-                return Natural::zero();
-            }
+        if gaifman.degree(v) == 0 && !in_any_tuple(structure, v) && universe_size(b) == 0 {
+            return Natural::zero();
         }
     }
 
@@ -166,7 +167,11 @@ mod tests {
             "(x) := E(x,x) & (exists a, b . E(a,b))",
         ] {
             let pp = pp_of(text);
-            assert_eq!(count_pp_fpt(&pp, &b), count_pp_brute(&pp, &b), "query {text}");
+            assert_eq!(
+                count_pp_fpt(&pp, &b),
+                count_pp_brute(&pp, &b),
+                "query {text}"
+            );
         }
     }
 
@@ -233,7 +238,16 @@ mod tests {
         // Random-ish handcrafted digraph, several query shapes.
         let sig = Signature::from_symbols([("E", 2)]);
         let mut b = Structure::new(sig, 6);
-        for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (1, 4)] {
+        for (u, v) in [
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (1, 4),
+        ] {
             b.add_tuple_named("E", &[u, v]);
         }
         for text in [

@@ -29,8 +29,8 @@
 
 pub mod brute;
 pub mod clique;
-pub mod decision;
 pub mod csp;
+pub mod decision;
 pub mod engines;
 pub mod fpt;
 

@@ -21,7 +21,9 @@ struct Bitset {
 
 impl Bitset {
     fn new(n: usize) -> Self {
-        Bitset { words: vec![0; n.div_ceil(64)] }
+        Bitset {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     fn insert(&mut self, v: u32) {
@@ -281,7 +283,16 @@ mod tests {
     fn decision_agrees_with_counting() {
         let g = Graph::from_edges(
             6,
-            &[(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5), (2, 4)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (3, 5),
+                (4, 5),
+                (2, 4),
+            ],
         );
         for k in 0..=6 {
             assert_eq!(has_k_clique(&g, k), count_k_cliques(&g, k) > 0, "k={k}");

@@ -35,7 +35,12 @@ impl TreeDecomposition {
 
     /// Width = (largest bag size) − 1, clamped to 0 for all-empty bags.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Validates the three tree-decomposition conditions for `g`:
@@ -89,8 +94,7 @@ impl TreeDecomposition {
         }
         // Connectivity of each vertex's occurrence set.
         for v in 0..g.vertex_count() as u32 {
-            let holders: Vec<usize> =
-                (0..k).filter(|&i| self.bags[i].contains(&v)).collect();
+            let holders: Vec<usize> = (0..k).filter(|&i| self.bags[i].contains(&v)).collect();
             if holders.is_empty() {
                 return false;
             }
@@ -168,7 +172,12 @@ impl NiceTreeDecomposition {
 
     /// Width = (largest bag size) − 1, clamped to 0.
     pub fn width(&self) -> usize {
-        self.bags.iter().map(|b| b.len()).max().unwrap_or(0).saturating_sub(1)
+        self.bags
+            .iter()
+            .map(|b| b.len())
+            .max()
+            .unwrap_or(0)
+            .saturating_sub(1)
     }
 
     /// Number of nodes.
@@ -194,7 +203,10 @@ impl NiceTreeDecomposition {
             adj[a].push(b);
             adj[b].push(a);
         }
-        let mut builder = NiceBuilder { nodes: Vec::new(), bags: Vec::new() };
+        let mut builder = NiceBuilder {
+            nodes: Vec::new(),
+            bags: Vec::new(),
+        };
         let top = builder.build_subtree(td, &adj, 0, usize::MAX);
         // Forget everything remaining in the root bag.
         let mut current = top;
@@ -202,7 +214,11 @@ impl NiceTreeDecomposition {
         for v in root_bag {
             current = builder.push_forget(v, current);
         }
-        NiceTreeDecomposition { nodes: builder.nodes, bags: builder.bags, root: current }
+        NiceTreeDecomposition {
+            nodes: builder.nodes,
+            bags: builder.bags,
+            root: current,
+        }
     }
 
     /// Validates structural well-formedness: bag algebra of each node kind,
@@ -287,8 +303,7 @@ impl NiceBuilder {
         parent: usize,
     ) -> usize {
         let target = &td.bags()[node];
-        let children: Vec<usize> =
-            adj[node].iter().copied().filter(|&c| c != parent).collect();
+        let children: Vec<usize> = adj[node].iter().copied().filter(|&c| c != parent).collect();
         if children.is_empty() {
             // Leaf: introduce the bag vertex by vertex from an empty leaf.
             let mut current = self.push(NiceNode::Leaf, BTreeSet::new());
@@ -302,13 +317,11 @@ impl NiceBuilder {
         let mut tops = Vec::with_capacity(children.len());
         for c in children {
             let mut current = self.build_subtree(td, adj, c, node);
-            let to_forget: Vec<u32> =
-                self.bags[current].difference(target).copied().collect();
+            let to_forget: Vec<u32> = self.bags[current].difference(target).copied().collect();
             for v in to_forget {
                 current = self.push_forget(v, current);
             }
-            let to_introduce: Vec<u32> =
-                target.difference(&self.bags[current]).copied().collect();
+            let to_introduce: Vec<u32> = target.difference(&self.bags[current]).copied().collect();
             for v in to_introduce {
                 current = self.push_introduce(v, current);
             }
@@ -319,7 +332,10 @@ impl NiceBuilder {
         let mut current = tops[0];
         for &t in &tops[1..] {
             current = self.push(
-                NiceNode::Join { left: current, right: t },
+                NiceNode::Join {
+                    left: current,
+                    right: t,
+                },
                 target.clone(),
             );
         }

@@ -15,7 +15,9 @@ pub struct Graph {
 impl Graph {
     /// An empty graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Graph { adjacency: vec![BTreeSet::new(); n] }
+        Graph {
+            adjacency: vec![BTreeSet::new(); n],
+        }
     }
 
     /// Builds a graph on `n` vertices from an edge list (self-loops and
@@ -43,8 +45,14 @@ impl Graph {
     /// # Panics
     /// Panics if `u` or `v` is out of range.
     pub fn add_edge(&mut self, u: u32, v: u32) {
-        assert!((u as usize) < self.vertex_count(), "vertex {u} out of range");
-        assert!((v as usize) < self.vertex_count(), "vertex {v} out of range");
+        assert!(
+            (u as usize) < self.vertex_count(),
+            "vertex {u} out of range"
+        );
+        assert!(
+            (v as usize) < self.vertex_count(),
+            "vertex {v} out of range"
+        );
         if u == v {
             return;
         }
@@ -54,7 +62,9 @@ impl Graph {
 
     /// Whether the edge `{u, v}` is present.
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
-        self.adjacency.get(u as usize).is_some_and(|a| a.contains(&v))
+        self.adjacency
+            .get(u as usize)
+            .is_some_and(|a| a.contains(&v))
     }
 
     /// The sorted neighbors of `v`.
@@ -69,10 +79,11 @@ impl Graph {
 
     /// Iterator over all edges `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
-        self.adjacency
-            .iter()
-            .enumerate()
-            .flat_map(|(u, a)| a.iter().filter(move |&&v| (u as u32) < v).map(move |&v| (u as u32, v)))
+        self.adjacency.iter().enumerate().flat_map(|(u, a)| {
+            a.iter()
+                .filter(move |&&v| (u as u32) < v)
+                .map(move |&v| (u as u32, v))
+        })
     }
 
     /// The subgraph induced by `vertices`, together with the mapping from new
@@ -168,7 +179,12 @@ impl Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Graph(n={}, edges={:?})", self.vertex_count(), self.edges().collect::<Vec<_>>())
+        write!(
+            f,
+            "Graph(n={}, edges={:?})",
+            self.vertex_count(),
+            self.edges().collect::<Vec<_>>()
+        )
     }
 }
 

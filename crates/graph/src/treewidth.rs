@@ -147,7 +147,10 @@ fn optimal_elimination_order_connected(g: &Graph) -> (Vec<u32>, usize) {
 
 fn exact_dp_table(g: &Graph) -> Vec<u8> {
     let n = g.vertex_count();
-    assert!(n <= EXACT_VERTEX_LIMIT, "graph too large for exact treewidth DP");
+    assert!(
+        n <= EXACT_VERTEX_LIMIT,
+        "graph too large for exact treewidth DP"
+    );
     if n == 0 {
         return vec![0];
     }
@@ -201,9 +204,14 @@ fn back_degree(g: &Graph, s: usize, v: usize) -> usize {
 /// fill-in simulation). This is an upper bound on treewidth for any order and
 /// equals treewidth for an optimal order.
 pub fn elimination_order_width(g: &Graph, order: &[u32]) -> usize {
-    assert_eq!(order.len(), g.vertex_count(), "order must cover all vertices");
-    let mut adjacency: Vec<BTreeSet<u32>> =
-        (0..g.vertex_count()).map(|v| g.neighbors(v as u32).clone()).collect();
+    assert_eq!(
+        order.len(),
+        g.vertex_count(),
+        "order must cover all vertices"
+    );
+    let mut adjacency: Vec<BTreeSet<u32>> = (0..g.vertex_count())
+        .map(|v| g.neighbors(v as u32).clone())
+        .collect();
     let mut eliminated = vec![false; g.vertex_count()];
     let mut width = 0;
     for &v in order {
@@ -250,17 +258,16 @@ pub fn min_fill_order(g: &Graph) -> Vec<u32> {
 /// heuristic).
 pub fn min_degree_order(g: &Graph) -> Vec<u32> {
     greedy_order(g, |adj, eliminated, v| {
-        adj[v as usize].iter().filter(|&&w| !eliminated[w as usize]).count()
+        adj[v as usize]
+            .iter()
+            .filter(|&&w| !eliminated[w as usize])
+            .count()
     })
 }
 
-fn greedy_order(
-    g: &Graph,
-    score: impl Fn(&[BTreeSet<u32>], &[bool], u32) -> usize,
-) -> Vec<u32> {
+fn greedy_order(g: &Graph, score: impl Fn(&[BTreeSet<u32>], &[bool], u32) -> usize) -> Vec<u32> {
     let n = g.vertex_count();
-    let mut adjacency: Vec<BTreeSet<u32>> =
-        (0..n).map(|v| g.neighbors(v as u32).clone()).collect();
+    let mut adjacency: Vec<BTreeSet<u32>> = (0..n).map(|v| g.neighbors(v as u32).clone()).collect();
     let mut eliminated = vec![false; n];
     let mut order = Vec::with_capacity(n);
     for _ in 0..n {
@@ -298,8 +305,7 @@ pub fn decomposition_from_elimination_order(g: &Graph, order: &[u32]) -> TreeDec
     for (i, &v) in order.iter().enumerate() {
         position[v as usize] = i;
     }
-    let mut adjacency: Vec<BTreeSet<u32>> =
-        (0..n).map(|v| g.neighbors(v as u32).clone()).collect();
+    let mut adjacency: Vec<BTreeSet<u32>> = (0..n).map(|v| g.neighbors(v as u32).clone()).collect();
     let mut bags: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
     // Eliminate in order; bag i (for order[i]) = {v} ∪ later neighbors.
     for (i, &v) in order.iter().enumerate() {
@@ -373,14 +379,22 @@ mod tests {
     #[test]
     fn cycles_have_treewidth_two() {
         for n in 3..8 {
-            assert_eq!(treewidth_exact(&generators::cycle_graph(n)), Some(2), "C_{n}");
+            assert_eq!(
+                treewidth_exact(&generators::cycle_graph(n)),
+                Some(2),
+                "C_{n}"
+            );
         }
     }
 
     #[test]
     fn cliques_have_treewidth_k_minus_one() {
         for k in 1..7 {
-            assert_eq!(treewidth_exact(&generators::complete_graph(k)), Some(k - 1), "K_{k}");
+            assert_eq!(
+                treewidth_exact(&generators::complete_graph(k)),
+                Some(k - 1),
+                "K_{k}"
+            );
         }
     }
 

@@ -34,8 +34,7 @@ fn count_cliques_naive(g: &Graph, k: usize) -> u128 {
         if mask.count_ones() as usize != k {
             continue;
         }
-        let members: Vec<u32> =
-            (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+        let members: Vec<u32> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
         if g.is_clique(&members) {
             count += 1;
         }

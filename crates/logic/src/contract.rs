@@ -35,14 +35,12 @@ pub struct ExistentialComponent {
 pub fn existential_components(pp: &PpFormula) -> Vec<ExistentialComponent> {
     let gaifman = pp.structure().gaifman_graph();
     let s = pp.liberal_count() as u32;
-    let quantified: Vec<u32> =
-        (s..pp.structure().universe_size() as u32).collect();
+    let quantified: Vec<u32> = (s..pp.structure().universe_size() as u32).collect();
     let (sub, map) = gaifman.induced_subgraph(&quantified);
     sub.connected_components()
         .into_iter()
         .map(|comp| {
-            let interior: Vec<u32> =
-                comp.iter().map(|&v| map[v as usize]).collect();
+            let interior: Vec<u32> = comp.iter().map(|&v| map[v as usize]).collect();
             let mut boundary: BTreeSet<u32> = BTreeSet::new();
             for &v in &interior {
                 for &w in gaifman.neighbors(v) {
@@ -134,9 +132,8 @@ mod tests {
     fn separate_existential_parts_stay_separate() {
         // φ(x,y) = (∃u E(x,u)) ∧ (∃v E(y,v)): two ∃-components with
         // singleton boundaries; contract graph has no edges.
-        let f = Formula::exists(&["u"], Formula::atom("E", &["x", "u"])).and(
-            Formula::exists(&["v"], Formula::atom("E", &["y", "v"])),
-        );
+        let f = Formula::exists(&["u"], Formula::atom("E", &["x", "u"]))
+            .and(Formula::exists(&["v"], Formula::atom("E", &["y", "v"])));
         let phi = pp(&["x", "y"], f);
         let comps = existential_components(&phi);
         assert_eq!(comps.len(), 2);

@@ -130,9 +130,8 @@ mod tests {
     /// Example 4.1: φ(w,x,y,z) = E(x,y) ∧ (E(w,x) ∨ (E(y,z) ∧ E(z,z))).
     fn example_4_1() -> (Query, Signature) {
         let f = Formula::atom("E", &["x", "y"]).and(
-            Formula::atom("E", &["w", "x"]).or(
-                Formula::atom("E", &["y", "z"]).and(Formula::atom("E", &["z", "z"])),
-            ),
+            Formula::atom("E", &["w", "x"])
+                .or(Formula::atom("E", &["y", "z"]).and(Formula::atom("E", &["z", "z"]))),
         );
         query(&["w", "x", "y", "z"], f)
     }

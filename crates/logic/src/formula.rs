@@ -46,7 +46,10 @@ pub struct Atom {
 impl Atom {
     /// Builds an atom.
     pub fn new(relation: impl Into<String>, args: Vec<Var>) -> Self {
-        Atom { relation: relation.into(), args }
+        Atom {
+            relation: relation.into(),
+            args,
+        }
     }
 }
 
@@ -82,7 +85,10 @@ pub enum Formula {
 impl Formula {
     /// Convenience: an atom formula.
     pub fn atom(relation: impl Into<String>, args: &[&str]) -> Formula {
-        Formula::Atom(Atom::new(relation, args.iter().map(|&a| Var::new(a)).collect()))
+        Formula::Atom(Atom::new(
+            relation,
+            args.iter().map(|&a| Var::new(a)).collect(),
+        ))
     }
 
     /// Convenience: conjunction of two formulas.
@@ -97,9 +103,9 @@ impl Formula {
 
     /// Convenience: existential quantification over several variables.
     pub fn exists(vars: &[&str], body: Formula) -> Formula {
-        vars.iter().rev().fold(body, |acc, &v| {
-            Formula::Exists(Var::new(v), Box::new(acc))
-        })
+        vars.iter()
+            .rev()
+            .fold(body, |acc, &v| Formula::Exists(Var::new(v), Box::new(acc)))
     }
 
     /// Conjunction of a list of formulas (`⊤` for the empty list).
@@ -223,10 +229,7 @@ impl Formula {
                 let tuple: Vec<u32> = a
                     .args
                     .iter()
-                    .map(|v| {
-                        *env.get(v)
-                            .unwrap_or_else(|| panic!("unbound variable {v}"))
-                    })
+                    .map(|v| *env.get(v).unwrap_or_else(|| panic!("unbound variable {v}")))
                     .collect();
                 b.has_tuple(rel, &tuple)
             }
@@ -351,7 +354,10 @@ mod tests {
         );
         let free: Vec<Var> = f.free_vars().into_iter().collect();
         assert_eq!(free, vec![v("x"), v("z")]);
-        assert_eq!(f.quantified_vars().into_iter().collect::<Vec<_>>(), vec![v("y")]);
+        assert_eq!(
+            f.quantified_vars().into_iter().collect::<Vec<_>>(),
+            vec![v("y")]
+        );
     }
 
     #[test]
@@ -406,8 +412,7 @@ mod tests {
     fn satisfaction_of_disjunction_and_top() {
         let sig = Signature::from_symbols([("E", 2)]);
         let b = Structure::new(sig, 2); // no edges
-        let env: HashMap<Var, u32> =
-            [(v("x"), 0), (v("y"), 1)].into_iter().collect();
+        let env: HashMap<Var, u32> = [(v("x"), 0), (v("y"), 1)].into_iter().collect();
         let f = Formula::atom("E", &["x", "y"]).or(Formula::Top);
         assert!(f.satisfied_by(&b, &env));
         let g = Formula::atom("E", &["x", "y"]).or(Formula::atom("E", &["y", "x"]));

@@ -234,8 +234,7 @@ mod tests {
 
     #[test]
     fn parses_example_4_1() {
-        let q = parse_query("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))")
-            .unwrap();
+        let q = parse_query("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))").unwrap();
         assert_eq!(q.liberal_count(), 4);
         let expected = Formula::atom("E", &["x", "y"]).and(
             Formula::atom("E", &["w", "x"])
@@ -247,9 +246,8 @@ mod tests {
     #[test]
     fn precedence_and_over_or() {
         let q = parse_query("A(x) & B(x) | C(x)").unwrap();
-        let expected =
-            (Formula::atom("A", &["x"]).and(Formula::atom("B", &["x"])))
-                .or(Formula::atom("C", &["x"]));
+        let expected = (Formula::atom("A", &["x"]).and(Formula::atom("B", &["x"])))
+            .or(Formula::atom("C", &["x"]));
         assert_eq!(q.formula(), &expected);
     }
 

@@ -79,7 +79,9 @@ impl PpFormula {
             .collect();
         for q in quantified {
             if index.contains_key(&q) {
-                return Err(LogicError::new(format!("duplicate quantified variable {q}")));
+                return Err(LogicError::new(format!(
+                    "duplicate quantified variable {q}"
+                )));
             }
             index.insert(q.clone(), names.len() as u32);
             names.push(q);
@@ -107,7 +109,11 @@ impl PpFormula {
             }
             structure.add_tuple(rel, &tuple);
         }
-        Ok(PpFormula { structure, names, liberal_count })
+        Ok(PpFormula {
+            structure,
+            names,
+            liberal_count,
+        })
     }
 
     /// The underlying structure **A**.
@@ -160,7 +166,9 @@ impl PpFormula {
                 }
             }
         }
-        (0..self.liberal_count as u32).filter(|&i| occurs[i as usize]).collect()
+        (0..self.liberal_count as u32)
+            .filter(|&i| occurs[i as usize])
+            .collect()
     }
 
     /// Whether the formula is a sentence (`free(φ) = ∅`).
@@ -210,8 +218,7 @@ impl PpFormula {
         }
         let (permuted_aug, perm_map) = core_aug.induced_substructure(&order);
         // Strip pin relations: rebuild over the original signature.
-        let mut structure =
-            Structure::new(self.signature().clone(), permuted_aug.universe_size());
+        let mut structure = Structure::new(self.signature().clone(), permuted_aug.universe_size());
         for (rel, name, _) in permuted_aug.signature().iter() {
             if name.starts_with(ops::PIN_PREFIX) {
                 continue;
@@ -225,7 +232,11 @@ impl PpFormula {
             .iter()
             .map(|&new| self.names[map[new as usize] as usize].clone())
             .collect();
-        PpFormula { structure, names, liberal_count: self.liberal_count }
+        PpFormula {
+            structure,
+            names,
+            liberal_count: self.liberal_count,
+        }
     }
 
     /// The components of the formula (Section 2.1 "Graphs"): one
@@ -263,19 +274,32 @@ impl PpFormula {
                 }
             }
         }
-        PpFormula { structure, names: self.names.clone(), liberal_count: self.liberal_count }
+        PpFormula {
+            structure,
+            names: self.names.clone(),
+            liberal_count: self.liberal_count,
+        }
     }
 
     /// Restricts to a component `comp` (sorted element indices): liberal
     /// set becomes `S ∩ comp`.
     fn restrict_to(&self, comp: &[u32]) -> PpFormula {
         let (structure, map) = self.structure.induced_substructure(comp);
-        let names = map.iter().map(|&old| self.names[old as usize].clone()).collect();
-        let liberal_count =
-            map.iter().filter(|&&old| (old as usize) < self.liberal_count).count();
+        let names = map
+            .iter()
+            .map(|&old| self.names[old as usize].clone())
+            .collect();
+        let liberal_count = map
+            .iter()
+            .filter(|&&old| (old as usize) < self.liberal_count)
+            .count();
         // `comp` is sorted, and liberal elements have the smallest indices,
         // so the canonical layout is preserved.
-        PpFormula { structure, names, liberal_count }
+        PpFormula {
+            structure,
+            names,
+            liberal_count,
+        }
     }
 
     /// Conjunction of pp-formulas sharing the same liberal name set:
@@ -325,7 +349,11 @@ impl PpFormula {
         for (rel_name, tuple) in &total_tuples {
             structure.add_tuple_named(rel_name, tuple);
         }
-        PpFormula { structure, names, liberal_count }
+        PpFormula {
+            structure,
+            names,
+            liberal_count,
+        }
     }
 
     /// Logical entailment `self ⊨ other` for formulas over the same
@@ -362,9 +390,11 @@ impl PpFormula {
             }
         }
         let matrix = Formula::conjunction(atoms);
-        let formula = self.quantified_names().iter().rev().fold(matrix, |acc, v| {
-            Formula::Exists(v.clone(), Box::new(acc))
-        });
+        let formula = self
+            .quantified_names()
+            .iter()
+            .rev()
+            .fold(matrix, |acc, v| Formula::Exists(v.clone(), Box::new(acc)));
         Query::new(formula, self.liberal_names().to_vec())
             .expect("pp-formula invariants guarantee a valid query")
     }
@@ -375,7 +405,11 @@ impl PpFormula {
     ///
     /// `assignment[i]` is the image of liberal element `i`.
     pub fn satisfied_by(&self, b: &Structure, assignment: &[u32]) -> bool {
-        assert_eq!(assignment.len(), self.liberal_count, "assignment arity mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.liberal_count,
+            "assignment arity mismatch"
+        );
         let pins: Vec<(u32, u32)> = assignment
             .iter()
             .enumerate()
@@ -399,7 +433,10 @@ struct FreshNames {
 
 impl FreshNames {
     fn new(reserved: impl IntoIterator<Item = Var>) -> Self {
-        FreshNames { used: reserved.into_iter().collect(), counter: 0 }
+        FreshNames {
+            used: reserved.into_iter().collect(),
+            counter: 0,
+        }
     }
 
     /// A fresh variable based on `base`'s name.
@@ -489,8 +526,7 @@ mod tests {
             &[Var::new("x"), Var::new("x'"), Var::new("y"), Var::new("z")]
         );
         // free(φ) = {x, x', y}: z is liberal but occurs in no atom.
-        let free: Vec<&Var> =
-            phi.free_indices().iter().map(|&i| phi.name(i)).collect();
+        let free: Vec<&Var> = phi.free_indices().iter().map(|&i| phi.name(i)).collect();
         assert_eq!(free, vec![&Var::new("x"), &Var::new("x'"), &Var::new("y")]);
         assert!(!phi.is_sentence());
     }
@@ -595,8 +631,14 @@ mod tests {
     #[test]
     fn conjoin_glues_liberal_and_renames_quantified() {
         // φ1(x) = ∃u E(x,u), φ2(x) = ∃u E(u,x).
-        let p1 = pp(&["x"], Formula::exists(&["u"], Formula::atom("E", &["x", "u"])));
-        let p2 = pp(&["x"], Formula::exists(&["u"], Formula::atom("E", &["u", "x"])));
+        let p1 = pp(
+            &["x"],
+            Formula::exists(&["u"], Formula::atom("E", &["x", "u"])),
+        );
+        let p2 = pp(
+            &["x"],
+            Formula::exists(&["u"], Formula::atom("E", &["u", "x"])),
+        );
         let c = PpFormula::conjoin(&[&p1, &p2]);
         assert_eq!(c.liberal_count(), 1);
         assert_eq!(c.structure().universe_size(), 3); // x + two distinct u's
@@ -606,7 +648,10 @@ mod tests {
     #[test]
     fn satisfaction_via_hom_extension() {
         // φ(x) = ∃u . E(x,u) on the path 0→1→2.
-        let phi = pp(&["x"], Formula::exists(&["u"], Formula::atom("E", &["x", "u"])));
+        let phi = pp(
+            &["x"],
+            Formula::exists(&["u"], Formula::atom("E", &["x", "u"])),
+        );
         let mut b = Structure::new(phi.signature().clone(), 3);
         b.add_tuple_named("E", &[0, 1]);
         b.add_tuple_named("E", &[1, 2]);
@@ -624,7 +669,10 @@ mod tests {
         // Structures coincide (atoms sorted; layout canonical).
         assert!(back.logically_equivalent(&phi));
         assert_eq!(back.liberal_names(), phi.liberal_names());
-        assert_eq!(back.structure().tuple_count(), phi.structure().tuple_count());
+        assert_eq!(
+            back.structure().tuple_count(),
+            phi.structure().tuple_count()
+        );
     }
 
     #[test]

@@ -14,7 +14,9 @@ pub struct LogicError {
 
 impl LogicError {
     pub(crate) fn new(message: impl Into<String>) -> Self {
-        LogicError { message: message.into() }
+        LogicError {
+            message: message.into(),
+        }
     }
 }
 
@@ -57,7 +59,10 @@ impl Query {
                 "variable {clash} is both liberal and quantified"
             )));
         }
-        Ok(Query { formula, liberal: liberal_set.into_iter().collect() })
+        Ok(Query {
+            formula,
+            liberal: liberal_set.into_iter().collect(),
+        })
     }
 
     /// Builds a query whose liberal variables are exactly the free
@@ -142,10 +147,7 @@ pub fn infer_signature<'a>(
 }
 
 /// Validates that every atom of `formula` matches `signature`.
-pub fn check_against_signature(
-    formula: &Formula,
-    signature: &Signature,
-) -> Result<(), LogicError> {
+pub fn check_against_signature(formula: &Formula, signature: &Signature) -> Result<(), LogicError> {
     for atom in formula.atoms() {
         match signature.lookup(&atom.relation) {
             None => {

@@ -25,9 +25,8 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
         prop_oneof![
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.and(r)),
             (inner.clone(), inner.clone()).prop_map(|(l, r)| l.or(r)),
-            (0usize..4, inner).prop_map(|(v, f)| {
-                Formula::Exists(Var::new(format!("v{v}")), Box::new(f))
-            }),
+            (0usize..4, inner)
+                .prop_map(|(v, f)| { Formula::Exists(Var::new(format!("v{v}")), Box::new(f)) }),
         ]
     })
 }

@@ -52,7 +52,8 @@ fn join_all(pp: &PpFormula, b: &Structure) -> (Relation, JoinPlan) {
     for (rel, name, _) in pp.signature().iter() {
         for t in pp.structure().relation(rel).tuples() {
             let r = scan_atom(pp, b, rel, t);
-            plan.steps.push(format!("scan {name}{t:?} -> {} rows", r.len()));
+            plan.steps
+                .push(format!("scan {name}{t:?} -> {} rows", r.len()));
             scans.push((format!("{name}{t:?}"), r));
         }
     }
@@ -69,7 +70,8 @@ fn join_all(pp: &PpFormula, b: &Structure) -> (Relation, JoinPlan) {
             .unwrap_or(0);
         let (label, r) = scans.remove(idx);
         acc = acc.join(&r);
-        plan.steps.push(format!("join {label} -> {} rows", acc.len()));
+        plan.steps
+            .push(format!("join {label} -> {} rows", acc.len()));
         if acc.is_empty() {
             break;
         }
@@ -143,10 +145,7 @@ pub fn answers_pp(pp: &PpFormula, b: &Structure) -> Relation {
                     as u32;
                 acc = acc.extend_with_domain(slot, b.universe_size());
             } else if b.universe_size() == 0 {
-                return Relation::new(
-                    (0..pp.liberal_count() as u32).collect(),
-                    Vec::new(),
-                );
+                return Relation::new((0..pp.liberal_count() as u32).collect(), Vec::new());
             }
             continue;
         }
@@ -154,10 +153,7 @@ pub fn answers_pp(pp: &PpFormula, b: &Structure) -> Relation {
         if joined.is_empty() {
             // Empty join (possibly early-terminated with a partial
             // schema): the whole answer set is empty.
-            return Relation::new(
-                (0..pp.liberal_count() as u32).collect(),
-                Vec::new(),
-            );
+            return Relation::new((0..pp.liberal_count() as u32).collect(), Vec::new());
         }
         if liberal == 0 {
             continue;

@@ -30,12 +30,18 @@ impl Relation {
 
     /// The nullary relation with a single empty row (the join identity).
     pub fn unit() -> Self {
-        Relation { schema: Vec::new(), rows: vec![Vec::new()] }
+        Relation {
+            schema: Vec::new(),
+            rows: vec![Vec::new()],
+        }
     }
 
     /// The nullary empty relation (the join annihilator).
     pub fn empty() -> Self {
-        Relation { schema: Vec::new(), rows: Vec::new() }
+        Relation {
+            schema: Vec::new(),
+            rows: Vec::new(),
+        }
     }
 
     /// Column identifiers.
@@ -60,8 +66,11 @@ impl Relation {
 
     /// Natural join on shared columns (hash join; the smaller side builds).
     pub fn join(&self, other: &Relation) -> Relation {
-        let (build, probe) =
-            if self.len() <= other.len() { (self, other) } else { (other, self) };
+        let (build, probe) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
         // Shared columns and their positions.
         let shared: Vec<u32> = build
             .schema
@@ -142,7 +151,10 @@ impl Relation {
     /// # Panics
     /// Panics if `column` is already in the schema.
     pub fn extend_with_domain(&self, column: u32, domain: usize) -> Relation {
-        assert!(!self.schema.contains(&column), "column {column} already present");
+        assert!(
+            !self.schema.contains(&column),
+            "column {column} already present"
+        );
         let mut schema = self.schema.clone();
         schema.push(column);
         let mut rows = Vec::with_capacity(self.rows.len() * domain);

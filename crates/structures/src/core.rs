@@ -30,8 +30,7 @@ pub fn core_of(a: &Structure) -> (Structure, Vec<u32>) {
     'outer: loop {
         let n = current.universe_size();
         for drop in 0..n as u32 {
-            let rest: Vec<u32> =
-                (0..n as u32).filter(|&v| v != drop).collect();
+            let rest: Vec<u32> = (0..n as u32).filter(|&v| v != drop).collect();
             let (candidate, map) = current.induced_substructure(&rest);
             if homomorphism_exists(&current, &candidate) {
                 element_of = map.iter().map(|&m| element_of[m as usize]).collect();
@@ -72,8 +71,7 @@ mod tests {
     }
 
     fn dicycle(n: usize) -> Structure {
-        let mut edges: Vec<(u32, u32)> =
-            (1..n).map(|i| (i as u32 - 1, i as u32)).collect();
+        let mut edges: Vec<(u32, u32)> = (1..n).map(|i| (i as u32 - 1, i as u32)).collect();
         edges.push((n as u32 - 1, 0));
         digraph(n, &edges)
     }
@@ -102,9 +100,7 @@ mod tests {
         assert!(is_core(&core));
         // The surviving elements are an original edge.
         let e = two.signature().lookup("E").unwrap();
-        assert!(
-            two.has_tuple(e, &[map[0], map[1]]) || two.has_tuple(e, &[map[1], map[0]])
-        );
+        assert!(two.has_tuple(e, &[map[0], map[1]]) || two.has_tuple(e, &[map[1], map[0]]));
     }
 
     #[test]

@@ -62,8 +62,9 @@ impl<'a> HomSearch<'a> {
         // the Gaifman graph (pick the element with most already-ordered
         // neighbors; ties by index).
         let gaifman = a.gaifman_graph();
-        let mut order: Vec<u32> =
-            (0..n as u32).filter(|&v| pinned_value[v as usize] != u32::MAX).collect();
+        let mut order: Vec<u32> = (0..n as u32)
+            .filter(|&v| pinned_value[v as usize] != u32::MAX)
+            .collect();
         let mut placed = vec![false; n];
         for &v in &order {
             placed[v as usize] = true;
@@ -109,8 +110,7 @@ impl<'a> HomSearch<'a> {
         for (rel, _, _) in a.signature().iter() {
             let arity = a.signature().arity(rel);
             // Column projections of R^B.
-            let mut columns: Vec<Vec<bool>> =
-                vec![vec![false; b.universe_size()]; arity];
+            let mut columns: Vec<Vec<bool>> = vec![vec![false; b.universe_size()]; arity];
             for t in b.relation(rel).tuples() {
                 for (i, &e) in t.iter().enumerate() {
                     columns[i][e as usize] = true;
@@ -118,8 +118,8 @@ impl<'a> HomSearch<'a> {
             }
             for t in a.relation(rel).tuples() {
                 for (i, &e) in t.iter().enumerate() {
-                    let entry = allowed[e as usize]
-                        .get_or_insert_with(|| vec![true; b.universe_size()]);
+                    let entry =
+                        allowed[e as usize].get_or_insert_with(|| vec![true; b.universe_size()]);
                     for (x, ok) in entry.iter_mut().enumerate() {
                         *ok = *ok && columns[i][x];
                     }
@@ -146,7 +146,14 @@ impl<'a> HomSearch<'a> {
             })
             .collect();
 
-        HomSearch { a, b_index: b.index(), order, position_of, checks, candidates }
+        HomSearch {
+            a,
+            b_index: b.index(),
+            order,
+            position_of,
+            checks,
+            candidates,
+        }
     }
 
     /// Runs the search, invoking `visit` on every homomorphism found
@@ -288,13 +295,15 @@ mod tests {
 
     /// Directed path 0 → 1 → … → n−1.
     fn dipath(n: usize) -> Structure {
-        digraph(n, &(1..n).map(|i| (i as u32 - 1, i as u32)).collect::<Vec<_>>())
+        digraph(
+            n,
+            &(1..n).map(|i| (i as u32 - 1, i as u32)).collect::<Vec<_>>(),
+        )
     }
 
     /// Directed cycle 0 → 1 → … → n−1 → 0.
     fn dicycle(n: usize) -> Structure {
-        let mut edges: Vec<(u32, u32)> =
-            (1..n).map(|i| (i as u32 - 1, i as u32)).collect();
+        let mut edges: Vec<(u32, u32)> = (1..n).map(|i| (i as u32 - 1, i as u32)).collect();
         edges.push((n as u32 - 1, 0));
         digraph(n, &edges)
     }

@@ -100,7 +100,10 @@ mod tests {
     #[test]
     fn size_and_count_mismatch() {
         assert!(!isomorphic(&digraph(2, &[(0, 1)]), &digraph(3, &[(0, 1)])));
-        assert!(!isomorphic(&digraph(2, &[(0, 1)]), &digraph(2, &[(0, 1), (1, 0)])));
+        assert!(!isomorphic(
+            &digraph(2, &[(0, 1)]),
+            &digraph(2, &[(0, 1), (1, 0)])
+        ));
     }
 
     #[test]

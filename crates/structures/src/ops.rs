@@ -19,7 +19,11 @@ use crate::structure::{Signature, Structure};
 /// # Panics
 /// Panics if the signatures differ.
 pub fn direct_product(a: &Structure, b: &Structure) -> Structure {
-    assert_eq!(a.signature(), b.signature(), "product of different signatures");
+    assert_eq!(
+        a.signature(),
+        b.signature(),
+        "product of different signatures"
+    );
     let bn = b.universe_size();
     let mut p = Structure::new(a.signature().clone(), a.universe_size() * bn);
     let mut tuple = Vec::new();
@@ -28,7 +32,9 @@ pub fn direct_product(a: &Structure, b: &Structure) -> Structure {
             for tb in b.relation(rel).tuples() {
                 tuple.clear();
                 tuple.extend(
-                    ta.iter().zip(tb.iter()).map(|(&x, &y)| pair_index(bn, x, y)),
+                    ta.iter()
+                        .zip(tb.iter())
+                        .map(|(&x, &y)| pair_index(bn, x, y)),
                 );
                 p.add_tuple(rel, &tuple);
             }
@@ -72,10 +78,13 @@ pub fn one_point(signature: Signature) -> Structure {
 /// # Panics
 /// Panics if the signatures differ.
 pub fn disjoint_union(a: &Structure, b: &Structure) -> Structure {
-    assert_eq!(a.signature(), b.signature(), "union of different signatures");
+    assert_eq!(
+        a.signature(),
+        b.signature(),
+        "union of different signatures"
+    );
     let shift = a.universe_size() as u32;
-    let mut u =
-        Structure::new(a.signature().clone(), a.universe_size() + b.universe_size());
+    let mut u = Structure::new(a.signature().clone(), a.universe_size() + b.universe_size());
     let mut tuple = Vec::new();
     for (rel, _, _) in a.signature().iter() {
         for t in a.relation(rel).tuples() {

@@ -169,7 +169,11 @@ pub fn parse_structure(text: &str) -> Result<Structure, ParseError> {
                 c.eat(",")?;
             }
         }
-        clauses.push(Clause { name, declared_arity, tuples });
+        clauses.push(Clause {
+            name,
+            declared_arity,
+            tuples,
+        });
     }
     if !c.at_end() {
         return Err(c.error("trailing input after structure"));
@@ -210,9 +214,7 @@ pub fn parse_structure(text: &str) -> Result<Structure, ParseError> {
             for &e in tuple {
                 if e as usize >= universe {
                     return Err(ParseError {
-                        message: format!(
-                            "element {e} outside universe of size {universe}"
-                        ),
+                        message: format!("element {e} outside universe of size {universe}"),
                     });
                 }
             }
@@ -244,10 +246,8 @@ mod tests {
 
     #[test]
     fn display_parse_roundtrip() {
-        let s = parse_structure(
-            "structure { universe 3 E = { (0,1), (1,2) } P/1 = { (2) } }",
-        )
-        .unwrap();
+        let s =
+            parse_structure("structure { universe 3 E = { (0,1), (1,2) } P/1 = { (2) } }").unwrap();
         let reparsed = parse_structure(&s.to_string()).unwrap();
         assert_eq!(s, reparsed);
     }
@@ -274,16 +274,13 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range_elements() {
-        let err = parse_structure("structure { universe 2 E = { (0,5) } }")
-            .unwrap_err();
+        let err = parse_structure("structure { universe 2 E = { (0,5) } }").unwrap_err();
         assert!(err.message.contains("outside universe"));
     }
 
     #[test]
     fn rejects_mixed_arity() {
-        let err =
-            parse_structure("structure { universe 3 E = { (0,1), (0,1,2) } }")
-                .unwrap_err();
+        let err = parse_structure("structure { universe 3 E = { (0,1), (0,1,2) } }").unwrap_err();
         assert!(err.message.contains("mixed arities"));
     }
 

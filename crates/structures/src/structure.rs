@@ -66,7 +66,10 @@ impl Signature {
 
     /// Finds a symbol by name.
     pub fn lookup(&self, name: &str) -> Option<RelId> {
-        self.symbols.iter().position(|(n, _)| n == name).map(|i| RelId(i as u32))
+        self.symbols
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| RelId(i as u32))
     }
 
     /// Name of a symbol.
@@ -104,7 +107,10 @@ pub struct Relation {
 
 impl Relation {
     fn new(arity: usize) -> Self {
-        Relation { arity, data: Vec::new() }
+        Relation {
+            arity,
+            data: Vec::new(),
+        }
     }
 
     /// The arity.
@@ -114,11 +120,7 @@ impl Relation {
 
     /// Number of tuples.
     pub fn len(&self) -> usize {
-        if self.arity == 0 {
-            0
-        } else {
-            self.data.len() / self.arity
-        }
+        self.data.len().checked_div(self.arity).unwrap_or(0)
     }
 
     /// Whether the relation is empty.
@@ -170,7 +172,11 @@ impl Structure {
             .iter()
             .map(|(_, _, arity)| Relation::new(arity))
             .collect();
-        Structure { signature, universe_size, relations }
+        Structure {
+            signature,
+            universe_size,
+            relations,
+        }
     }
 
     /// The signature.

@@ -124,7 +124,10 @@ mod tests {
         let sig = Signature::from_symbols([("R", 3), ("P", 1)]);
         let s = random_structure(&mut StdRng::seed_from_u64(4), &sig, 4, 0.5, 1000);
         assert_eq!(s.signature(), &sig);
-        assert!(s.relation(sig.lookup("R").unwrap()).tuples().all(|t| t.len() == 3));
+        assert!(s
+            .relation(sig.lookup("R").unwrap())
+            .tuples()
+            .all(|t| t.len() == 3));
     }
 
     #[test]

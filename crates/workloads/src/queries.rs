@@ -136,12 +136,7 @@ pub fn grid_query(rows: usize, cols: usize) -> Query {
 /// A seeded random conjunctive query: `vars` variables named `v0…`,
 /// `atoms` binary `E`-atoms over them, each variable quantified with
 /// probability `quantify`.
-pub fn random_cq<R: Rng>(
-    rng: &mut R,
-    vars: usize,
-    atoms: usize,
-    quantify: f64,
-) -> Query {
+pub fn random_cq<R: Rng>(rng: &mut R, vars: usize, atoms: usize, quantify: f64) -> Query {
     assert!(vars >= 1);
     let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
     let mut parts = Vec::with_capacity(atoms);
@@ -177,8 +172,7 @@ pub fn random_ucq<R: Rng>(
     assert!(disjuncts >= 1);
     assert!(vars >= 1);
     let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
-    let quantifiable: Vec<bool> =
-        (0..vars).map(|_| rng.gen_bool(quantify)).collect();
+    let quantifiable: Vec<bool> = (0..vars).map(|_| rng.gen_bool(quantify)).collect();
     let parts: Vec<Formula> = (0..disjuncts)
         .map(|_| {
             let mut body = Vec::with_capacity(atoms);
@@ -195,9 +189,7 @@ pub fn random_ucq<R: Rng>(
             let quantified: Vec<&str> = names
                 .iter()
                 .enumerate()
-                .filter(|(i, n)| {
-                    quantifiable[*i] && used.contains(&Var::new(n.as_str()))
-                })
+                .filter(|(i, n)| quantifiable[*i] && used.contains(&Var::new(n.as_str())))
                 .map(|(_, s)| s.as_str())
                 .collect();
             Formula::exists(&quantified, matrix)

@@ -44,7 +44,10 @@ fn main() {
     };
 
     let recovered = oracle::recover_all_free_counts(&star_terms, &b, &mut oracle_fn);
-    println!("\nRecovered from {} oracle calls:", recovered.oracle_queries);
+    println!(
+        "\nRecovered from {} oracle calls:",
+        recovered.oracle_queries
+    );
     for (i, n) in &recovered.counts {
         let direct = brute::count_pp_brute(&star_terms[*i].formula, &b);
         println!(
@@ -85,8 +88,7 @@ fn main() {
         calls2 += 1;
         epq::core::count::count_ep_with(&dec, query2.liberal_count(), d, &FptEngine)
     };
-    let recovered2 =
-        oracle::recover_plus_counts(&dec, query2.liberal_count(), &b2, &mut oracle2);
+    let recovered2 = oracle::recover_plus_counts(&dec, query2.liberal_count(), &b2, &mut oracle2);
     println!("\nRecovered (with {calls2} oracle calls):");
     for (formula, n) in &recovered2 {
         let direct = brute::count_pp_brute(formula, &b2);

@@ -26,7 +26,11 @@ fn main() {
     let mut b21 = Structure::new(sig.clone(), 3);
     b21.add_tuple_named("E", &[0, 1]);
     b21.add_tuple_named("S", &[1, 2]);
-    for text in ["(x,y,z) := E(x,y) | S(y,z)", "(x,y,z) := E(x,y)", "(x,y) := E(x,y)"] {
+    for text in [
+        "(x,y,z) := E(x,y) | S(y,z)",
+        "(x,y,z) := E(x,y)",
+        "(x,y) := E(x,y)",
+    ] {
         let q = parse_query(text).unwrap();
         let n = epq::core::count::count_ep(&q, &sig, &b21, &FptEngine).unwrap();
         println!("  |{text}|(B) = {n}");
@@ -34,18 +38,23 @@ fn main() {
     println!("  → ψ(x,y,z) and θ(x,y) count over different liberal sets.\n");
 
     println!("=== Examples 2.2 / 2.4: the (A,S) view and components ========");
-    let q22 = parse_query(
-        "(x, x', y, z) := exists y', u, v, w . E(x,x') & E(y,y') & F(u,v) & G(u,w)",
-    )
-    .unwrap();
+    let q22 =
+        parse_query("(x, x', y, z) := exists y', u, v, w . E(x,x') & E(y,y') & F(u,v) & G(u,w)")
+            .unwrap();
     let sig22 = infer_signature([q22.formula()]).unwrap();
     let pp22 = PpFormula::from_query(&q22, &sig22).unwrap();
     println!("  φ = {pp22}");
     println!(
         "  universe A = {} elements, lib(φ) = {:?}, free(φ) = {:?}",
         pp22.structure().universe_size(),
-        pp22.liberal_names().iter().map(|v| v.name()).collect::<Vec<_>>(),
-        pp22.free_indices().iter().map(|&i| pp22.name(i).name()).collect::<Vec<_>>(),
+        pp22.liberal_names()
+            .iter()
+            .map(|v| v.name())
+            .collect::<Vec<_>>(),
+        pp22.free_indices()
+            .iter()
+            .map(|&i| pp22.name(i).name())
+            .collect::<Vec<_>>(),
     );
     println!("  components (paper: ψ1(x,x'), ψ2(y), ψ3(z)=⊤, ψ4(∅)):");
     for c in pp22.components() {
@@ -70,7 +79,10 @@ fn main() {
     let raw = epq::core::iex::inclusion_exclusion_terms(&ds42);
     let star42 = star(&ds42);
     println!("  raw inclusion–exclusion terms: {}", raw.len());
-    println!("  φ* after merging counting-equivalent terms: {}", star42.len());
+    println!(
+        "  φ* after merging counting-equivalent terms: {}",
+        star42.len()
+    );
     for t in &star42 {
         println!("    {:>3} × |{}(B)|", t.coefficient.to_string(), t.formula);
     }
@@ -89,7 +101,10 @@ fn main() {
         println!("  recovered |{}(B)| = {n}", star41[*i].formula);
         assert_eq!(*n, brute::count_pp_brute(&star41[*i].formula, &b));
     }
-    println!("  ({} oracle queries on products B × Cˡ)\n", recovered.oracle_queries);
+    println!(
+        "  ({} oracle queries on products B × Cˡ)\n",
+        recovered.oracle_queries
+    );
 
     println!("=== Example 5.2: counting equivalence = renaming =============");
     let p1 = PpFormula::from_query(&parse_query("E(x,y)").unwrap(), &sig_e).unwrap();
@@ -119,7 +134,10 @@ fn main() {
     let q521 = parse_query(text521).unwrap();
     let dec = plus_decomposition(&q521, &sig_e).unwrap();
     println!("  θ*_af terms: {}", dec.star_af.len());
-    println!("  θ⁻_af (not entailing a sentence disjunct): {}", dec.minus_af.len());
+    println!(
+        "  θ⁻_af (not entailing a sentence disjunct): {}",
+        dec.minus_af.len()
+    );
     println!("  θ⁺ = {{");
     for f in &dec.plus {
         println!("    {f}");
@@ -129,7 +147,10 @@ fn main() {
     println!("\n=== Theorem 3.2: the trichotomy regimes =======================");
     for (label, text) in [
         ("path (FPT)", "E(x,y) & E(y,z) & E(z,w)"),
-        ("pendant 3-clique (case 2)", "(x) := exists a, b, c . E(x,a) & E(a,b) & E(b,c) & E(a,c)"),
+        (
+            "pendant 3-clique (case 2)",
+            "(x) := exists a, b, c . E(x,a) & E(a,b) & E(b,c) & E(a,c)",
+        ),
         ("free 3-clique (case 3)", "E(x,y) & E(y,z) & E(x,z)"),
     ] {
         let q = parse_query(text).unwrap();

@@ -37,7 +37,10 @@ fn main() {
         println!("  ∨ {d}");
     }
     let star_terms = star(&disjuncts);
-    println!("\nφ* after inclusion–exclusion + cancellation ({} terms):", star_terms.len());
+    println!(
+        "\nφ* after inclusion–exclusion + cancellation ({} terms):",
+        star_terms.len()
+    );
     for t in &star_terms {
         println!("  {:>3} × |{}(B)|", t.coefficient.to_string(), t.formula);
     }
@@ -53,9 +56,13 @@ fn main() {
         classify_widths(
             analysis.max_core_treewidth,
             analysis.max_contract_treewidth,
-            analysis.max_core_treewidth.max(analysis.max_contract_treewidth)
+            analysis
+                .max_core_treewidth
+                .max(analysis.max_contract_treewidth)
         ),
-        w = analysis.max_core_treewidth.max(analysis.max_contract_treewidth),
+        w = analysis
+            .max_core_treewidth
+            .max(analysis.max_contract_treewidth),
     );
 
     // Engines agree (and scale differently — see the benches).

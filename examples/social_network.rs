@@ -13,7 +13,12 @@ use rand::SeedableRng;
 use std::time::Instant;
 
 fn main() {
-    let config = SocialConfig { users: 60, posts: 25, avg_follows: 5, avg_likes: 4 };
+    let config = SocialConfig {
+        users: 60,
+        posts: 25,
+        avg_follows: 5,
+        avg_likes: 4,
+    };
     let network = generate_social(&mut StdRng::seed_from_u64(2016), &config);
     println!(
         "Synthetic social network: {} users, {} posts, {} facts\n",
@@ -23,8 +28,8 @@ fn main() {
     );
 
     println!(
-        "{:<16} {:>12} {:>10} {:>9}  {}",
-        "query", "count", "µs (fpt)", "core tw", "meaning"
+        "{:<16} {:>12} {:>10} {:>9}  meaning",
+        "query", "count", "µs (fpt)", "core tw"
     );
     println!("{}", "-".repeat(88));
     let sig = network.signature().clone();
@@ -54,7 +59,11 @@ fn main() {
     println!("φ* terms:");
     for t in &star_terms {
         let n = FptEngine.count(&t.formula, &network);
-        println!("  {:>3} × {n:<8} from |{}(B)|", t.coefficient.to_string(), t.formula);
+        println!(
+            "  {:>3} × {n:<8} from |{}(B)|",
+            t.coefficient.to_string(),
+            t.formula
+        );
     }
     let total = count_ep(&query, &sig, &network, &FptEngine).unwrap();
     println!("signed total = {total} (the union count, overlap removed once)");

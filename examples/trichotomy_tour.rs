@@ -26,19 +26,31 @@ where
 fn main() {
     println!("Theorem 3.2 — the trichotomy, measured on query families.\n");
     let families = vec![
-        ("paths P_k", report("paths", (1..=6).map(|k| (k, queries::path_query(k))))),
-        ("stars S_k", report("stars", (1..=6).map(|k| (k, queries::star_query(k))))),
+        (
+            "paths P_k",
+            report("paths", (1..=6).map(|k| (k, queries::path_query(k)))),
+        ),
+        (
+            "stars S_k",
+            report("stars", (1..=6).map(|k| (k, queries::star_query(k)))),
+        ),
         (
             "cycles C_k",
             report("cycles", (3..=6).map(|k| (k, queries::cycle_query(k)))),
         ),
         (
             "∃-paths Q_k(x,y)",
-            report("qpaths", (2..=6).map(|k| (k, queries::quantified_path_query(k)))),
+            report(
+                "qpaths",
+                (2..=6).map(|k| (k, queries::quantified_path_query(k))),
+            ),
         ),
         (
             "pendant ∃-cliques W_k(x)",
-            report("pendant", (2..=5).map(|k| (k, queries::pendant_clique_query(k)))),
+            report(
+                "pendant",
+                (2..=5).map(|k| (k, queries::pendant_clique_query(k))),
+            ),
         ),
         (
             "free cliques K_k",
@@ -51,15 +63,13 @@ fn main() {
     ];
 
     println!(
-        "{:<26} {:<28} {:<28} {}",
-        "family", "core treewidth by k", "contract treewidth by k", "regime (Thm 3.2)"
+        "{:<26} {:<28} {:<28} regime (Thm 3.2)",
+        "family", "core treewidth by k", "contract treewidth by k"
     );
     println!("{}", "-".repeat(108));
     for (label, fam) in &families {
-        let cores: Vec<String> =
-            fam.measures.iter().map(|(_, c, _)| c.to_string()).collect();
-        let contracts: Vec<String> =
-            fam.measures.iter().map(|(_, _, c)| c.to_string()).collect();
+        let cores: Vec<String> = fam.measures.iter().map(|(_, c, _)| c.to_string()).collect();
+        let contracts: Vec<String> = fam.measures.iter().map(|(_, _, c)| c.to_string()).collect();
         println!(
             "{:<26} {:<28} {:<28} {}",
             label,

@@ -45,16 +45,13 @@ ENGINES:         fpt (default) | brute-force | relalg | hom-dp
 pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     let io = |e: std::io::Error| format!("I/O error: {e}");
     match args.first().map(String::as_str) {
-        None | Some("help") | Some("--help") | Some("-h") => {
-            write!(out, "{USAGE}").map_err(io)
-        }
+        None | Some("help") | Some("--help") | Some("-h") => write!(out, "{USAGE}").map_err(io),
         Some("count") => {
             let query = required(args, "--query")?;
             let b = load_structure(args)?;
             let engine = engine_from(args)?;
             let (q, sig) = prepare(&query, Some(&b))?;
-            let n = count_ep(&q, &sig, &b, engine.as_ref())
-                .map_err(|e| e.to_string())?;
+            let n = count_ep(&q, &sig, &b, engine.as_ref()).map_err(|e| e.to_string())?;
             writeln!(out, "{n}").map_err(io)
         }
         Some("classify") => {
@@ -123,8 +120,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             let q1 = required(args, "--query")?;
             let q2 = required(args, "--query2")?;
             let (a, b) = prepare_pair(&q1, &q2)?;
-            writeln!(out, "counting equivalent: {}", counting_equivalent(&a, &b))
-                .map_err(io)?;
+            writeln!(out, "counting equivalent: {}", counting_equivalent(&a, &b)).map_err(io)?;
             if a.is_free() && b.is_free() {
                 writeln!(
                     out,
@@ -169,8 +165,7 @@ fn load_structure(args: &[String]) -> Result<Structure, String> {
     }
     let path = required(args, "--data")
         .map_err(|_| "provide --data <file> or --data-inline <text>".to_string())?;
-    let text = std::fs::read_to_string(&path)
-        .map_err(|e| format!("cannot read {path}: {e}"))?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     parse_structure(&text).map_err(|e| e.to_string())
 }
 
@@ -190,8 +185,7 @@ fn prepare(query_text: &str, data: Option<&Structure>) -> Result<(Query, Signatu
     let q = parse_query(query_text).map_err(|e| e.to_string())?;
     let sig = match data {
         Some(b) => {
-            check_against_signature(q.formula(), b.signature())
-                .map_err(|e| e.to_string())?;
+            check_against_signature(q.formula(), b.signature()).map_err(|e| e.to_string())?;
             b.signature().clone()
         }
         None => infer_signature([q.formula()]).map_err(|e| e.to_string())?,
@@ -252,7 +246,13 @@ mod tests {
     fn count_with_each_engine() {
         for engine in ["fpt", "brute-force", "relalg", "hom-dp"] {
             let out = run_ok(&[
-                "count", "--query", "E(x,y)", "--data-inline", DATA, "--engine", engine,
+                "count",
+                "--query",
+                "E(x,y)",
+                "--data-inline",
+                DATA,
+                "--engine",
+                engine,
             ]);
             assert_eq!(out.trim(), "4", "engine {engine}");
         }
@@ -292,11 +292,19 @@ mod tests {
     #[test]
     fn equiv_subcommand() {
         let out = run_ok(&[
-            "equiv", "--query", "E(x,y) & E(y,z)", "--query2", "E(a,b) & E(b,c)",
+            "equiv",
+            "--query",
+            "E(x,y) & E(y,z)",
+            "--query2",
+            "E(a,b) & E(b,c)",
         ]);
         assert!(out.contains("counting equivalent: true"));
         let out = run_ok(&[
-            "equiv", "--query", "E(x,y) & E(y,z)", "--query2", "E(a,b) & E(a,c)",
+            "equiv",
+            "--query",
+            "E(x,y) & E(y,z)",
+            "--query2",
+            "E(a,b) & E(a,c)",
         ]);
         assert!(out.contains("counting equivalent: false"));
     }
@@ -304,7 +312,11 @@ mod tests {
     #[test]
     fn explain_subcommand() {
         let out = run_ok(&[
-            "explain", "--query", "E(x,y) & E(y,z)", "--data-inline", DATA,
+            "explain",
+            "--query",
+            "E(x,y) & E(y,z)",
+            "--data-inline",
+            DATA,
         ]);
         assert!(out.contains("scan"));
         assert!(out.contains("join"));
@@ -315,22 +327,81 @@ mod tests {
         assert!(run_err(&["count", "--query", "E(x,y)"]).contains("--data"));
         assert!(run_err(&["count", "--query", "E(x,"]).contains("--data"));
         assert!(run_err(&["frobnicate"]).contains("unknown subcommand"));
+        assert!(
+            run_err(&["count", "--query", "E(x,", "--data-inline", DATA]).contains("parse error")
+        );
+        assert!(
+            run_err(&["count", "--query", "F(x,y)", "--data-inline", DATA])
+                .contains("not in signature")
+        );
+        assert!(
+            run_err(&["equiv", "--query", "E(x,y) | E(y,x)", "--query2", "E(x,y)"])
+                .contains("primitive positive")
+        );
         assert!(run_err(&[
-            "count", "--query", "E(x,", "--data-inline", DATA
-        ])
-        .contains("parse error"));
-        assert!(run_err(&[
-            "count", "--query", "F(x,y)", "--data-inline", DATA
-        ])
-        .contains("not in signature"));
-        assert!(run_err(&[
-            "equiv", "--query", "E(x,y) | E(y,x)", "--query2", "E(x,y)"
-        ])
-        .contains("primitive positive"));
-        assert!(run_err(&[
-            "count", "--query", "E(x,y)", "--data-inline", DATA, "--engine", "warp"
+            "count",
+            "--query",
+            "E(x,y)",
+            "--data-inline",
+            DATA,
+            "--engine",
+            "warp"
         ])
         .contains("unknown engine"));
+    }
+
+    #[test]
+    fn help_flag_spellings() {
+        for spelling in [["--help"], ["-h"], ["help"]] {
+            let out = run_ok(&spelling);
+            assert!(out.contains("USAGE"), "{spelling:?} should print usage");
+            assert!(out.contains("ENGINES"), "{spelling:?} should list engines");
+        }
+    }
+
+    #[test]
+    fn missing_query_flag_is_reported() {
+        for sub in ["count", "classify", "star", "plus", "explain"] {
+            assert!(
+                run_err(&[sub]).contains("missing required --query"),
+                "{sub} without --query should name the missing flag"
+            );
+        }
+        assert!(run_err(&["equiv", "--query", "E(x,y)"]).contains("--query2"));
+    }
+
+    #[test]
+    fn flag_without_value_is_reported() {
+        // A flag in final position has no value to consume.
+        assert!(run_err(&["count", "--query"]).contains("missing required --query"));
+    }
+
+    #[test]
+    fn unreadable_data_file_is_reported() {
+        let err = run_err(&[
+            "count",
+            "--query",
+            "E(x,y)",
+            "--data",
+            "/nonexistent/epq-test.structure",
+        ]);
+        assert!(err.contains("cannot read"), "got: {err}");
+    }
+
+    #[test]
+    fn unparsable_data_file_is_reported() {
+        let dir = std::env::temp_dir().join("epq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.structure");
+        std::fs::write(&path, "garbage {{{ not a structure").unwrap();
+        let err = run_err(&[
+            "count",
+            "--query",
+            "E(x,y)",
+            "--data",
+            path.to_str().unwrap(),
+        ]);
+        assert!(err.contains("parse error"), "got: {err}");
     }
 
     #[test]
@@ -340,7 +411,11 @@ mod tests {
         let path = dir.join("c.structure");
         std::fs::write(&path, DATA).unwrap();
         let out = run_ok(&[
-            "count", "--query", "E(x,x)", "--data", path.to_str().unwrap(),
+            "count",
+            "--query",
+            "E(x,x)",
+            "--data",
+            path.to_str().unwrap(),
         ]);
         assert_eq!(out.trim(), "1");
     }

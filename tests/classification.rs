@@ -42,13 +42,9 @@ fn trichotomy_table_families() {
     assert_eq!(pendant.inferred_regime(), Regime::CliqueEquivalent);
 
     // Case 3: free cliques and growing grids.
-    let cliques =
-        family("cliques", (2..=4).map(|k| (k, queries::clique_query(k))));
+    let cliques = family("cliques", (2..=4).map(|k| (k, queries::clique_query(k))));
     assert_eq!(cliques.inferred_regime(), Regime::SharpCliqueHard);
-    let grids = family(
-        "grids",
-        (1..=3).map(|k| (k, queries::grid_query(k, k))),
-    );
+    let grids = family("grids", (1..=3).map(|k| (k, queries::grid_query(k, k))));
     assert_eq!(grids.inferred_regime(), Regime::SharpCliqueHard);
 }
 

@@ -21,10 +21,16 @@ fn check_all_paths(query: &Query, b: &Structure) {
     let expected = brute::count_ep_brute(query, b);
 
     let via_fpt = epq::core::count::count_ep(query, &sig, b, &FptEngine).unwrap();
-    assert_eq!(via_fpt, expected, "φ* pipeline + FPT engine\nquery: {query}\nB: {b}");
+    assert_eq!(
+        via_fpt, expected,
+        "φ* pipeline + FPT engine\nquery: {query}\nB: {b}"
+    );
 
     let via_bf = epq::core::count::count_ep(query, &sig, b, &BruteForceEngine).unwrap();
-    assert_eq!(via_bf, expected, "φ* pipeline + brute engine\nquery: {query}");
+    assert_eq!(
+        via_bf, expected,
+        "φ* pipeline + brute engine\nquery: {query}"
+    );
 
     let ds = dnf::disjuncts(query, &sig).unwrap();
     let via_relalg = epq::relalg::count_ucq(&ds, b);

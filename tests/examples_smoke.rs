@@ -1,0 +1,89 @@
+//! Smoke tests running the repository examples end to end.
+//!
+//! `cargo test` builds every example before running integration tests,
+//! so the compiled binaries are guaranteed to sit in
+//! `target/<profile>/examples/` next to this test's own executable.
+//! Each test runs one example and checks both its exit status and a
+//! load-bearing line of its output, so a regression in any layer the
+//! example exercises (parser, engines, classifier, oracle reductions)
+//! fails the suite instead of silently rotting the documentation.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Path to a compiled example binary, resolved relative to the test
+/// executable (`target/<profile>/deps/<test>` → `target/<profile>/examples/`).
+fn example_binary(name: &str) -> PathBuf {
+    let mut dir = std::env::current_exe().expect("test binary path");
+    dir.pop(); // <test file name>
+    if dir.ends_with("deps") {
+        dir.pop();
+    }
+    let path = dir.join("examples").join(name);
+    assert!(
+        path.exists(),
+        "example binary {path:?} not found; examples should be built by `cargo test`"
+    );
+    path
+}
+
+/// Runs one example and returns its stdout, panicking on failure.
+fn run_example(name: &str) -> String {
+    let output = Command::new(example_binary(name))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {:?}\nstderr:\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stderr)
+    );
+    String::from_utf8(output.stdout).expect("example output is UTF-8")
+}
+
+#[test]
+fn quickstart_counts_24() {
+    let out = run_example("quickstart");
+    assert!(
+        out.contains("24"),
+        "quickstart should reproduce the |phi(B)| = 24 count:\n{out}"
+    );
+}
+
+#[test]
+fn paper_walkthrough_runs() {
+    let out = run_example("paper_walkthrough");
+    assert!(
+        !out.trim().is_empty(),
+        "paper_walkthrough should narrate the paper's running examples"
+    );
+}
+
+#[test]
+fn trichotomy_tour_names_all_three_regimes() {
+    let out = run_example("trichotomy_tour");
+    for needle in ["FPT", "hard"] {
+        assert!(
+            out.contains(needle),
+            "trichotomy_tour output should mention {needle:?}:\n{out}"
+        );
+    }
+}
+
+#[test]
+fn oracle_reduction_runs() {
+    let out = run_example("oracle_reduction");
+    assert!(
+        !out.trim().is_empty(),
+        "oracle_reduction should print its trace"
+    );
+}
+
+#[test]
+fn social_network_runs() {
+    let out = run_example("social_network");
+    assert!(
+        !out.trim().is_empty(),
+        "social_network should print its report"
+    );
+}

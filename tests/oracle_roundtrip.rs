@@ -15,7 +15,10 @@ fn roundtrip_all_free(text: &str, b: &Structure) {
     let query = parse_query(text).unwrap();
     let sig = b.signature().clone();
     let ds = dnf::disjuncts(&query, &sig).unwrap();
-    assert!(ds.iter().all(|d| d.is_free()), "test requires an all-free query");
+    assert!(
+        ds.iter().all(|d| d.is_free()),
+        "test requires an all-free query"
+    );
     let star_terms = star(&ds);
     let mut oracle_fn =
         |d: &Structure| epq::core::count::count_ep(&query, &sig, d, &FptEngine).unwrap();
@@ -84,8 +87,7 @@ fn general_roundtrip_with_sentences_on_random_structures() {
 #[test]
 fn oracle_query_budget_is_reported() {
     let b = data::example_4_3_structure();
-    let query =
-        parse_query("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))").unwrap();
+    let query = parse_query("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))").unwrap();
     let sig = b.signature().clone();
     let ds = dnf::disjuncts(&query, &sig).unwrap();
     let star_terms = star(&ds);
@@ -106,17 +108,12 @@ fn distinguishing_structure_search_properties() {
     // construction; verify on a fresh instance.
     let sig = data::digraph_signature();
     let p1 = PpFormula::from_query(&parse_query("E(x,y)").unwrap(), &sig).unwrap();
-    let p2 =
-        PpFormula::from_query(&parse_query("E(x,y) & E(y,y)").unwrap(), &sig).unwrap();
-    let p3 = PpFormula::from_query(&parse_query("E(x,y) & E(y,x)").unwrap(), &sig)
-        .unwrap();
+    let p2 = PpFormula::from_query(&parse_query("E(x,y) & E(y,y)").unwrap(), &sig).unwrap();
+    let p3 = PpFormula::from_query(&parse_query("E(x,y) & E(y,x)").unwrap(), &sig).unwrap();
     let c = oracle::find_distinguishing_structure(&[&p1, &p2, &p3]);
     assert!(oracle::is_distinguishing(&c, &[&p1, &p2, &p3]));
     // Positivity must hold for unrelated formulas too (diagonal element).
-    let other = PpFormula::from_query(
-        &parse_query("E(a,b) & E(b,c) & E(c,a)").unwrap(),
-        &sig,
-    )
-    .unwrap();
+    let other =
+        PpFormula::from_query(&parse_query("E(a,b) & E(b,c) & E(c,a)").unwrap(), &sig).unwrap();
     assert!(!brute::count_pp_brute(&other, &c).is_zero());
 }

@@ -39,7 +39,10 @@ fn example_2_1_liberal_variables_matter() {
     let theta = parse_query("(x,y) := E(x,y)").unwrap();
 
     let count = |q: &Query| {
-        epq::core::count::count_ep(q, &sig, &b, &FptEngine).unwrap().to_u64().unwrap()
+        epq::core::count::count_ep(q, &sig, &b, &FptEngine)
+            .unwrap()
+            .to_u64()
+            .unwrap()
     };
     // |φ(B)| = |ψ(B) ∪ ψ′(B)| — over lib = {x,y,z}: 3 + 3 − overlap 1 = 5.
     assert_eq!(count(&phi), 5);
@@ -52,10 +55,9 @@ fn example_2_1_liberal_variables_matter() {
 /// Example 2.2 / 2.4: the structure view and the four components.
 #[test]
 fn example_2_2_and_2_4_structure_view_and_components() {
-    let q = parse_query(
-        "(x, x', y, z) := exists y', u, v, w . E(x,x') & E(y,y') & F(u,v) & G(u,w)",
-    )
-    .unwrap();
+    let q =
+        parse_query("(x, x', y, z) := exists y', u, v, w . E(x,x') & E(y,y') & F(u,v) & G(u,w)")
+            .unwrap();
     let sig = infer_signature([q.formula()]).unwrap();
     let pp = PpFormula::from_query(&q, &sig).unwrap();
     assert_eq!(pp.structure().universe_size(), 8);
@@ -64,8 +66,10 @@ fn example_2_2_and_2_4_structure_view_and_components() {
     assert_eq!(comps.len(), 4);
     // Written logically: ψ1(x,x'), ψ2(y), ψ3(z) = ⊤, ψ4(∅) (the paper's
     // list). Check the liberal/sentence profile.
-    let mut profiles: Vec<(usize, bool)> =
-        comps.iter().map(|c| (c.liberal_count(), c.is_sentence())).collect();
+    let mut profiles: Vec<(usize, bool)> = comps
+        .iter()
+        .map(|c| (c.liberal_count(), c.is_sentence()))
+        .collect();
     profiles.sort_unstable();
     assert_eq!(profiles, vec![(0, true), (1, false), (1, true), (2, false)]);
     // Component product law: |φ(B)| = Π |φᵢ(B)| on a test structure.
@@ -86,13 +90,9 @@ fn example_2_2_and_2_4_structure_view_and_components() {
 #[test]
 fn theorem_2_3_entailment() {
     let sig = Signature::from_symbols([("E", 2)]);
-    let stronger = PpFormula::from_query(
-        &parse_query("(x,y) := E(x,y) & E(y,x)").unwrap(),
-        &sig,
-    )
-    .unwrap();
-    let weaker =
-        PpFormula::from_query(&parse_query("(x,y) := E(x,y)").unwrap(), &sig).unwrap();
+    let stronger =
+        PpFormula::from_query(&parse_query("(x,y) := E(x,y) & E(y,x)").unwrap(), &sig).unwrap();
+    let weaker = PpFormula::from_query(&parse_query("(x,y) := E(x,y)").unwrap(), &sig).unwrap();
     assert!(stronger.entails(&weaker));
     assert!(!weaker.entails(&stronger));
     // Logical equivalence via cores: φ(x) = ∃u,v E(x,u) ∧ E(x,v) ≡ ∃u E(x,u).
@@ -101,11 +101,8 @@ fn theorem_2_3_entailment() {
         &sig,
     )
     .unwrap();
-    let minimal = PpFormula::from_query(
-        &parse_query("(x) := exists u . E(x,u)").unwrap(),
-        &sig,
-    )
-    .unwrap();
+    let minimal =
+        PpFormula::from_query(&parse_query("(x) := exists u . E(x,u)").unwrap(), &sig).unwrap();
     assert!(redundant.logically_equivalent(&minimal));
     assert!(epq::structures::iso::isomorphic(
         redundant.core().structure(),
@@ -117,17 +114,13 @@ fn theorem_2_3_entailment() {
 /// pitfall (counts w.r.t. {w,x,y,z} everywhere).
 #[test]
 fn example_4_1_inclusion_exclusion_identity() {
-    let (query, ds) =
-        disjuncts_of("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))");
+    let (query, ds) = disjuncts_of("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))");
     assert_eq!(ds.len(), 2);
     let b = example_c();
     let brute = epq_counting::brute::count_ep_brute(&query, &b);
     let c1 = epq_counting::brute::count_pp_brute(&ds[0], &b);
     let c2 = epq_counting::brute::count_pp_brute(&ds[1], &b);
-    let c12 = epq_counting::brute::count_pp_brute(
-        &PpFormula::conjoin(&[&ds[0], &ds[1]]),
-        &b,
-    );
+    let c12 = epq_counting::brute::count_pp_brute(&PpFormula::conjoin(&[&ds[0], &ds[1]]), &b);
     // |φ(B)| = |φ1(B)| + |φ2(B)| − |(φ1∧φ2)(B)|.
     assert_eq!((c1 + c2).checked_sub(&c12).unwrap(), brute);
 }
@@ -136,9 +129,8 @@ fn example_4_1_inclusion_exclusion_identity() {
 /// the treewidth drop from 2 to 1.
 #[test]
 fn example_4_2_and_5_15_cancellation() {
-    let (query, ds) = disjuncts_of(
-        "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))",
-    );
+    let (query, ds) =
+        disjuncts_of("(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))");
     let star_terms = star(&ds);
     assert_eq!(star_terms.len(), 2);
     let mut coefficients: Vec<i64> = star_terms
@@ -149,16 +141,14 @@ fn example_4_2_and_5_15_cancellation() {
     assert_eq!(coefficients, vec![-2, 3]);
     // Identity on the example structure.
     let b = example_c();
-    let via_star =
-        epq_core::iex::evaluate_signed_sum(&star_terms, &b, &FptEngine);
+    let via_star = epq_core::iex::evaluate_signed_sum(&star_terms, &b, &FptEngine);
     assert_eq!(via_star, epq_counting::brute::count_ep_brute(&query, &b));
 }
 
 /// Example 4.3: the Vandermonde oracle recovery with the paper's C.
 #[test]
 fn example_4_3_oracle_recovery() {
-    let (query, ds) =
-        disjuncts_of("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))");
+    let (query, ds) = disjuncts_of("(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))");
     let star_terms = star(&ds);
     let sig = Signature::from_symbols([("E", 2)]);
     // Target structure: a different digraph than C.
@@ -183,10 +173,8 @@ fn example_4_3_oracle_recovery() {
 #[test]
 fn example_5_2_counting_equivalence() {
     let sig = Signature::from_symbols([("E", 2)]);
-    let phi1 =
-        PpFormula::from_query(&parse_query("E(x,y)").unwrap(), &sig).unwrap();
-    let phi2 =
-        PpFormula::from_query(&parse_query("E(w,z)").unwrap(), &sig).unwrap();
+    let phi1 = PpFormula::from_query(&parse_query("E(x,y)").unwrap(), &sig).unwrap();
+    let phi2 = PpFormula::from_query(&parse_query("E(w,z)").unwrap(), &sig).unwrap();
     assert!(counting_equivalent(&phi1, &phi2));
     // But they are NOT logically equivalent (different variables).
     assert_ne!(phi1.liberal_names(), phi2.liberal_names());
@@ -212,8 +200,7 @@ fn example_5_7_semi_counting_equivalence() {
 fn theorem_5_9_padding() {
     let sig = Signature::from_symbols([("E", 2)]);
     let b = Structure::new(sig.clone(), 2); // edgeless
-    let pp =
-        PpFormula::from_query(&parse_query("E(x,y) & E(y,z)").unwrap(), &sig).unwrap();
+    let pp = PpFormula::from_query(&parse_query("E(x,y) & E(y,z)").unwrap(), &sig).unwrap();
     assert!(epq_counting::brute::count_pp_brute(&pp, &b).is_zero());
     for k in 1..4 {
         let padded = ops::add_units(&b, k);
@@ -242,8 +229,7 @@ fn example_5_21_theta_plus() {
     assert_eq!(dec.sentences.len(), 1);
     // And counting through the decomposition matches brute force.
     let b = example_c();
-    let via_dec =
-        epq::core::count::count_ep_with(&dec, q.liberal_count(), &b, &FptEngine);
+    let via_dec = epq::core::count::count_ep_with(&dec, q.liberal_count(), &b, &FptEngine);
     assert_eq!(via_dec, epq_counting::brute::count_ep_brute(&q, &b));
 }
 
