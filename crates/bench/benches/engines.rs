@@ -1,13 +1,18 @@
-//! F1 — counting-engine scaling on FPT-family queries.
+//! F1 — counting-engine scaling on FPT-family queries, and P1 — the
+//! sequential-vs-parallel comparison.
 //!
 //! Regenerates the engine-comparison series of EXPERIMENTS.md: counting
 //! time versus structure size for a fixed bounded-treewidth query, per
-//! engine (brute force / relational algebra / #Hom-DP / FPT).
+//! engine (brute force / relational algebra / #Hom-DP / FPT), plus the
+//! `fpt` vs `fpt-par` and `brute-force` vs `brute-par` series at 1, 2,
+//! and 4 worker threads (the one-thread parallel engines *are* the
+//! sequential algorithms — their bars measure pool overhead).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use epq_bench::pp_of;
 use epq_counting::engines::{
-    BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine, RelalgEngine,
+    BruteForceEngine, FptEngine, HomDpEngine, ParBruteForceEngine, ParFptEngine, PpCountingEngine,
+    RelalgEngine,
 };
 use epq_workloads::{data, queries};
 use rand::rngs::StdRng;
@@ -59,5 +64,71 @@ fn engines_on_free_path(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, engines_on_quantified_path, engines_on_free_path);
+fn parallel_vs_sequential_fpt(c: &mut Criterion) {
+    // P1: the FPT engine against its work-sharded variant on the
+    // largest F1 structure sizes. Expect ~linear scaling in threads on
+    // multi-core runners; counts are asserted identical up front.
+    let query = queries::quantified_path_query(3);
+    let pp = pp_of(&query);
+    let mut group = c.benchmark_group("P1/qpath3-par");
+    group.sample_size(10);
+    for n in [64usize, 96] {
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(n as u64), n, 0.08);
+        let sequential = FptEngine.count(&pp, &b);
+        group.bench_with_input(BenchmarkId::new("fpt", n), &n, |bencher, _| {
+            bencher.iter(|| FptEngine.count(&pp, &b));
+        });
+        for threads in [1usize, 2, 4] {
+            let engine = ParFptEngine::new(threads);
+            assert_eq!(
+                engine.count(&pp, &b),
+                sequential,
+                "fpt-par/{threads} on {n}"
+            );
+            let id = BenchmarkId::new(format!("fpt-par/{threads}t"), n);
+            group.bench_with_input(id, &n, |bencher, _| {
+                bencher.iter(|| engine.count(&pp, &b));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn parallel_vs_sequential_brute(c: &mut Criterion) {
+    // P1: the brute enumerator against its range-sharded variant. The
+    // assignment sweep is embarrassingly parallel, so this series is
+    // the cleanest speedup readout.
+    let query = queries::path_query(2);
+    let pp = pp_of(&query);
+    let mut group = c.benchmark_group("P1/path2-brute-par");
+    group.sample_size(10);
+    for n in [16usize, 24] {
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(7 + n as u64), n, 0.1);
+        let sequential = BruteForceEngine.count(&pp, &b);
+        group.bench_with_input(BenchmarkId::new("brute-force", n), &n, |bencher, _| {
+            bencher.iter(|| BruteForceEngine.count(&pp, &b));
+        });
+        for threads in [1usize, 2, 4] {
+            let engine = ParBruteForceEngine::new(threads);
+            assert_eq!(
+                engine.count(&pp, &b),
+                sequential,
+                "brute-par/{threads} on {n}"
+            );
+            let id = BenchmarkId::new(format!("brute-par/{threads}t"), n);
+            group.bench_with_input(id, &n, |bencher, _| {
+                bencher.iter(|| engine.count(&pp, &b));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    engines_on_quantified_path,
+    engines_on_free_path,
+    parallel_vs_sequential_fpt,
+    parallel_vs_sequential_brute
+);
 criterion_main!(benches);

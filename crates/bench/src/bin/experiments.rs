@@ -1,11 +1,16 @@
-//! Regenerates every table and series recorded in `EXPERIMENTS.md`.
+//! Regenerates every table and series recorded in `EXPERIMENTS.md`
+//! (ids `T1`, `E1`–`E6`, `F1`–`F4`, `A1`–`A3`), plus the `P1`
+//! parallel-engine comparison that doubles as CI's bench-smoke gate
+//! (writes `BENCH_engines.json`; exits nonzero on any
+//! parallel-vs-sequential count disagreement).
 //!
 //! ```sh
 //! cargo run -p epq-bench --release --bin experiments            # all
 //! cargo run -p epq-bench --release --bin experiments -- T1 F2  # some
+//! cargo run -p epq-bench --release --bin experiments -- P1     # CI gate
 //! ```
 
-use epq_bench::{pp_of, row, rule, time_engine, time_us};
+use epq_bench::{json_escape, pp_of, row, rule, time_engine, time_us};
 use epq_core::classify::FamilyReport;
 use epq_core::count::{count_ep, count_ep_with};
 use epq_core::equivalence::{counting_equivalent, empirically_counting_equivalent};
@@ -63,6 +68,9 @@ fn main() {
     if want("F4") {
         f4_random_ucq_cancellation();
     }
+    if want("P1") {
+        p1_parallel_engines();
+    }
     if want("A1") {
         a1_distinguisher_ablation();
     }
@@ -72,6 +80,183 @@ fn main() {
     if want("A3") {
         a3_case_two_reduction();
     }
+}
+
+/// One measured configuration of the P1 parallel-engine comparison.
+struct P1Row {
+    family: &'static str,
+    engine: String,
+    n: usize,
+    threads: usize,
+    median_us: f64,
+    count: String,
+    agrees: bool,
+}
+
+/// P1 — the parallel engines (`fpt-par`, `brute-par`) against their
+/// sequential counterparts: per-thread-count medians, the speedup at
+/// the widest setting, and a hard agreement gate.
+///
+/// Writes a machine-readable report to `BENCH_engines.json` (override
+/// the path with `EPQ_BENCH_JSON`); CI's `bench-smoke` job uploads it
+/// as an artifact. **Exits nonzero if any parallel count disagrees
+/// with the sequential one** — this is the cheap perf+correctness gate
+/// that runs on every PR.
+fn p1_parallel_engines() {
+    println!("== P1: parallel engines — speedup and agreement vs sequential ==");
+    let host = epq_counting::pool::available_threads();
+    println!("  host threads: {host}");
+    let thread_counts = [1usize, 2, 4];
+    let mut rows: Vec<P1Row> = Vec::new();
+
+    let widths = [14, 14, 6, 8, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "family".into(),
+                "engine".into(),
+                "n".into(),
+                "threads".into(),
+                "median us".into(),
+                "count".into(),
+                "agree".into()
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+
+    // One measurement sweep per (family, n): the sequential engine,
+    // then its parallel variant at each thread count, with agreement
+    // checked against the sequential count.
+    let mut measure = |family: &'static str,
+                       query: &Query,
+                       sizes: &[usize],
+                       density: f64,
+                       seed_offset: u64,
+                       seq: &dyn PpCountingEngine,
+                       par_of: fn(usize) -> Box<dyn PpCountingEngine>| {
+        let pp = pp_of(query);
+        for &n in sizes {
+            let b = data::random_digraph(
+                &mut StdRng::seed_from_u64(seed_offset + n as u64),
+                n,
+                density,
+            );
+            let (seq_count, seq_us) = time_engine(seq, &pp, &b, 3);
+            rows.push(P1Row {
+                family,
+                engine: seq.name().to_string(),
+                n,
+                threads: 1,
+                median_us: seq_us,
+                count: seq_count.clone(),
+                agrees: true,
+            });
+            let mut widest_us = seq_us;
+            for &t in &thread_counts {
+                let engine = par_of(t);
+                let (par_count, par_us) = time_engine(engine.as_ref(), &pp, &b, 3);
+                widest_us = par_us;
+                rows.push(P1Row {
+                    family,
+                    engine: format!("{}/{}t", engine.name(), t),
+                    n,
+                    threads: t,
+                    median_us: par_us,
+                    count: par_count.clone(),
+                    agrees: par_count == seq_count,
+                });
+            }
+            for r in &rows[rows.len() - (thread_counts.len() + 1)..] {
+                println!(
+                    "{}",
+                    row(
+                        &[
+                            r.family.into(),
+                            r.engine.clone(),
+                            r.n.to_string(),
+                            r.threads.to_string(),
+                            format!("{:.0}", r.median_us),
+                            r.count.clone(),
+                            r.agrees.to_string()
+                        ],
+                        &widths
+                    )
+                );
+            }
+            println!(
+                "  -> speedup at {} threads: {:.2}x{}",
+                thread_counts.last().unwrap(),
+                seq_us / widest_us,
+                if host < 2 {
+                    " (single-core host: expect ~1x)"
+                } else {
+                    ""
+                }
+            );
+        }
+    };
+
+    // qpath3 is the largest `engines` bench family; path2 stresses the
+    // brute enumerator's sharded assignment sweep.
+    measure(
+        "qpath3",
+        &queries::quantified_path_query(3),
+        &[48, 96],
+        0.08,
+        0,
+        &FptEngine,
+        |t| Box::new(epq_counting::engines::ParFptEngine::new(t)),
+    );
+    measure(
+        "path2-brute",
+        &queries::path_query(2),
+        &[16, 24],
+        0.1,
+        7,
+        &BruteForceEngine,
+        |t| Box::new(epq_counting::engines::ParBruteForceEngine::new(t)),
+    );
+
+    let disagreements = rows.iter().filter(|r| !r.agrees).count();
+    let path = std::env::var("EPQ_BENCH_JSON").unwrap_or_else(|_| "BENCH_engines.json".to_string());
+    let json = p1_json(&rows, host, disagreements);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  report written to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+    if disagreements > 0 {
+        eprintln!("P1 FAILED: {disagreements} parallel count(s) disagree with sequential");
+        std::process::exit(1);
+    }
+    println!("  all parallel counts agree with sequential ✔\n");
+}
+
+/// Renders the P1 report as JSON (by hand; the container has no serde).
+fn p1_json(rows: &[P1Row], host_threads: usize, disagreements: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"P1\",\n");
+    out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str(&format!("  \"disagreements\": {disagreements},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"engine\": \"{}\", \"n\": {}, \"threads\": {}, \
+             \"median_us\": {:.1}, \"count\": \"{}\", \"agrees\": {}}}{}\n",
+            json_escape(r.family),
+            json_escape(&r.engine),
+            r.n,
+            r.threads,
+            r.median_us,
+            json_escape(&r.count),
+            r.agrees,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
 }
 
 /// A1 — ablation: Lemma 5.12's distinguishing structure, randomized

@@ -54,6 +54,26 @@ pub fn time_engine(
     (count.to_string(), us)
 }
 
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, and control characters). The experiments binary emits
+/// its machine-readable reports (`BENCH_engines.json`) by hand — the
+/// offline container has no serde.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats a row of fixed-width columns.
 pub fn row(cells: &[String], widths: &[usize]) -> String {
     cells
@@ -89,6 +109,13 @@ mod tests {
         let b = data::path_structure(5);
         let (count, _) = time_engine(&epq_counting::engines::FptEngine, &pp, &b, 2);
         assert_eq!(count, "3");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\n\t\u{1}"), "x\\n\\t\\u0001");
     }
 
     #[test]

@@ -136,7 +136,7 @@ impl Integer {
             }
             Sign::Positive => Sign::Positive,
             Sign::Negative => {
-                if exp.is_multiple_of(2) {
+                if exp % 2 == 0 {
                     Sign::Positive
                 } else {
                     Sign::Negative

@@ -304,7 +304,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length bounds accepted by [`vec`].
+    /// Length bounds accepted by [`vec()`].
     pub trait SizeRange {
         /// Samples a length in bounds.
         fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -330,7 +330,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,

@@ -245,11 +245,7 @@ pub fn count_surjective_via_blow_ups(phi: &PpFormula, b: &Structure, targets: &[
         let mut oracle = |d: &Structure| epq_counting::brute::count_pp_brute(phi, d);
         let strata = stratified_counts_via_blow_ups(phi, b, &t_subset, &mut oracle);
         let all_inside = strata.get(s).cloned().unwrap_or_else(Natural::zero);
-        let sign = if (k - t_subset.len()).is_multiple_of(2) {
-            1
-        } else {
-            -1
-        };
+        let sign = if (k - t_subset.len()) % 2 == 0 { 1 } else { -1 };
         total += &(&Integer::from(sign) * &Integer::from(all_inside));
     }
     assert!(

@@ -95,6 +95,109 @@ pub fn for_each_assignment(domain: usize, arity: usize, visit: &mut impl FnMut(&
     }
 }
 
+/// The size of the assignment space `{0..domain}^arity`, or `None` on
+/// `u128` overflow (such spaces are far beyond brute-force reach).
+pub fn assignment_space(domain: usize, arity: usize) -> Option<u128> {
+    (domain as u128).checked_pow(u32::try_from(arity).ok()?)
+}
+
+/// Calls `visit` on the assignments with flat index in `start..end`,
+/// where index `i` denotes the tuple whose `j`-th coordinate is the
+/// `j`-th least-significant base-`domain` digit of `i` — exactly the
+/// order [`for_each_assignment`] visits, so concatenating the ranges of
+/// a partition of `0..domain^arity` replays the full enumeration.
+///
+/// This is the sharding primitive of the parallel brute-force engine:
+/// each worker sweeps one contiguous index range.
+pub fn for_each_assignment_in_range(
+    domain: usize,
+    arity: usize,
+    start: u128,
+    end: u128,
+    visit: &mut impl FnMut(&[u32]),
+) {
+    if start >= end {
+        return;
+    }
+    if arity == 0 {
+        // The single empty tuple has index 0.
+        if start == 0 {
+            visit(&[]);
+        }
+        return;
+    }
+    if domain == 0 {
+        return;
+    }
+    // Decode `start` into odometer digits (variable 0 least significant).
+    let mut values = vec![0u32; arity];
+    let mut rest = start;
+    for v in values.iter_mut() {
+        *v = (rest % domain as u128) as u32;
+        rest /= domain as u128;
+    }
+    debug_assert_eq!(rest, 0, "start index out of the assignment space");
+    let mut remaining = end - start;
+    loop {
+        visit(&values);
+        remaining -= 1;
+        if remaining == 0 {
+            return;
+        }
+        let mut i = 0;
+        loop {
+            values[i] += 1;
+            if (values[i] as usize) < domain {
+                break;
+            }
+            values[i] = 0;
+            i += 1;
+            if i == arity {
+                return;
+            }
+        }
+    }
+}
+
+/// Counts `|φ(B)|` like [`count_pp_brute`], but sweeps the assignment
+/// space in parallel: the flat index range `0..|B|^|lib|` is split into
+/// contiguous shards (a few per worker, so the atomic job cursor
+/// balances uneven satisfiability checks) and the per-shard partial
+/// counts are summed in shard order — the result is bit-identical to
+/// the sequential count at every thread count.
+pub fn count_pp_brute_par(pp: &PpFormula, b: &Structure, threads: usize) -> Natural {
+    let arity = pp.liberal_count();
+    let domain = b.universe_size();
+    let total = match assignment_space(domain, arity) {
+        Some(t) => t,
+        None => return count_pp_brute(pp, b),
+    };
+    if threads <= 1 || total < 2 {
+        return count_pp_brute(pp, b);
+    }
+    let shards = crate::pool::split_ranges(total, threads.saturating_mul(4));
+    let jobs: Vec<_> = shards
+        .into_iter()
+        .map(|(start, end)| {
+            move || {
+                let mut count = Natural::zero();
+                let one = Natural::one();
+                for_each_assignment_in_range(domain, arity, start, end, &mut |values| {
+                    if pp.satisfied_by(b, values) {
+                        count += &one;
+                    }
+                });
+                count
+            }
+        })
+        .collect();
+    let mut acc = Natural::zero();
+    for partial in crate::pool::run_jobs(threads, jobs) {
+        acc += &partial;
+    }
+    acc
+}
+
 /// Convenience: count an ep-formula given as text against `b`.
 ///
 /// Panics on parse/validation errors — intended for tests and examples.
@@ -147,6 +250,64 @@ mod tests {
         let mut count = 0;
         for_each_assignment(0, 2, &mut |_| count += 1);
         assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn range_enumeration_replays_the_full_sweep() {
+        let mut full = Vec::new();
+        for_each_assignment(3, 3, &mut |v| full.push(v.to_vec()));
+        // Any partition of 0..27 replays the full order when concatenated.
+        for cuts in [vec![0u128, 27], vec![0, 5, 27], vec![0, 1, 2, 26, 27]] {
+            let mut replay = Vec::new();
+            for w in cuts.windows(2) {
+                for_each_assignment_in_range(3, 3, w[0], w[1], &mut |v| replay.push(v.to_vec()));
+            }
+            assert_eq!(replay, full, "cuts {cuts:?}");
+        }
+        // Degenerate ranges.
+        let mut seen = 0usize;
+        for_each_assignment_in_range(3, 2, 4, 4, &mut |_| seen += 1);
+        assert_eq!(seen, 0);
+        for_each_assignment_in_range(5, 0, 0, 1, &mut |_| seen += 1);
+        assert_eq!(seen, 1);
+        for_each_assignment_in_range(0, 2, 0, 1, &mut |_| seen += 1);
+        assert_eq!(seen, 1);
+    }
+
+    #[test]
+    fn assignment_space_sizes() {
+        assert_eq!(assignment_space(3, 4), Some(81));
+        assert_eq!(assignment_space(0, 2), Some(0));
+        assert_eq!(assignment_space(7, 0), Some(1));
+        assert_eq!(assignment_space(2, 200), None);
+    }
+
+    #[test]
+    fn parallel_brute_matches_sequential() {
+        let b = example_c();
+        for text in [
+            "E(x,y)",
+            "(x,y,z) := E(x,y)",
+            "(x) := exists u . E(x,u) & E(u,u)",
+            "E(x,y) & E(y,z)",
+            "E(x,x)",
+            "exists a . E(a,a)",
+        ] {
+            let pp = pp_of(text);
+            let expected = count_pp_brute(&pp, &b);
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    count_pp_brute_par(&pp, &b, threads),
+                    expected,
+                    "query {text} at {threads} threads"
+                );
+            }
+        }
+        // Empty universe.
+        let sig = Signature::from_symbols([("E", 2)]);
+        let empty = Structure::new(sig, 0);
+        let pp = pp_of("E(x,y)");
+        assert_eq!(count_pp_brute_par(&pp, &empty, 4).to_u64(), Some(0));
     }
 
     #[test]

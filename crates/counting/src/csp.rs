@@ -15,11 +15,23 @@
 //! extensions over the forgotten variables; introduce nodes filter against
 //! every constraint that fits in the bag and mentions the new variable,
 //! forget nodes sum out, join nodes multiply matching entries.
+//!
+//! # Determinism
+//!
+//! The DP tables are `BTreeMap`s keyed by bag assignments, so every
+//! traversal order in this module is a sorted order — nothing iterates a
+//! `HashMap`/`HashSet` whose order could differ between runs. (The only
+//! hash collections left are the `allowed` sets of [`CspConstraint`],
+//! used purely for membership tests.) This matters for the parallel
+//! entry point [`TdCounter::count_par`]: its shard boundaries are
+//! contiguous chunks of the sorted child tables, so they are identical
+//! run to run and the parallel counts are reproducible across runs and
+//! thread counts.
 
 use epq_bigint::Natural;
 use epq_graph::{treewidth, Graph, NiceNode, NiceTreeDecomposition};
 use epq_structures::Structure;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// One constraint: an ordered scope of distinct variables and the set of
 /// allowed value tuples.
@@ -100,6 +112,33 @@ impl TdCounter {
 
     /// Counts satisfying assignments with the given variables pinned.
     pub fn count(&self, pins: &[(u32, u32)]) -> Natural {
+        self.count_with_threads(pins, 1)
+    }
+
+    /// Whether any satisfying assignment exists under the pins.
+    pub fn satisfiable(&self, pins: &[(u32, u32)]) -> bool {
+        !self.count(pins).is_zero()
+    }
+
+    /// Counts satisfying assignments with the given pins, sharding the
+    /// DP across up to `threads` threads.
+    ///
+    /// Parallelism is *within* each node of the tree-decomposition DP:
+    /// a node's table is built by splitting its child table into
+    /// contiguous sorted-order chunks, one partial table per worker,
+    /// merged afterwards (disjoint union at introduce/join nodes —
+    /// the key maps are injective — and entry-wise `Natural` sums at
+    /// forget nodes). Total work is therefore exactly the sequential
+    /// DP's, chunk boundaries are deterministic, and the merged sums
+    /// are order-insensitive, so the result equals [`TdCounter::count`]
+    /// bit for bit at every thread count. Nodes whose tables are below
+    /// [`PAR_NODE_THRESHOLD`] run inline — small tables are not worth
+    /// a scope spawn.
+    pub fn count_par(&self, pins: &[(u32, u32)], threads: usize) -> Natural {
+        self.count_with_threads(pins, threads.max(1))
+    }
+
+    fn count_with_threads(&self, pins: &[(u32, u32)], threads: usize) -> Natural {
         let mut pinned: Vec<Option<u32>> = vec![None; self.variables];
         for &(v, x) in pins {
             assert!((v as usize) < self.variables, "pin variable out of range");
@@ -112,54 +151,36 @@ impl TdCounter {
             pinned[v as usize] = Some(x);
         }
         // tables[node]: bag assignment (sorted-bag order) → extension count.
-        let mut tables: Vec<HashMap<Vec<u32>, Natural>> = Vec::with_capacity(self.nice.len());
+        let mut tables: Vec<Table> = Vec::with_capacity(self.nice.len());
         for (node_index, node) in self.nice.nodes().iter().enumerate() {
             let table = match node {
                 NiceNode::Leaf => {
-                    let mut t = HashMap::new();
+                    let mut t = Table::new();
                     t.insert(Vec::new(), Natural::one());
                     t
                 }
                 NiceNode::Introduce { vertex, child } => {
-                    let bag: Vec<u32> = self.nice.bag(node_index).iter().copied().collect();
-                    let slot = bag.iter().position(|v| v == vertex).unwrap();
-                    let child_table = &tables[*child];
-                    let candidates: Vec<u32> = match pinned[*vertex as usize] {
-                        Some(x) => vec![x],
-                        None => (0..self.domain as u32).collect(),
-                    };
-                    let mut t = HashMap::new();
-                    let mut scratch = Vec::new();
-                    for (child_key, count) in child_table {
-                        for &x in &candidates {
-                            let mut key = child_key.clone();
-                            key.insert(slot, x);
-                            let ok = self.checks[node_index].iter().all(|&ci| {
-                                let c = &self.constraints[ci];
-                                scratch.clear();
-                                scratch.extend(c.scope.iter().map(|v| {
-                                    let pos = bag.iter().position(|b| b == v).unwrap();
-                                    key[pos]
-                                }));
-                                c.allowed.contains(&scratch)
-                            });
-                            if ok {
-                                *t.entry(key).or_insert_with(Natural::zero) += count;
-                            }
-                        }
-                    }
-                    t
+                    self.introduce_table(node_index, *vertex, &tables[*child], &pinned, threads)
                 }
                 NiceNode::Forget { vertex, child } => {
                     let child_bag: Vec<u32> = self.nice.bag(*child).iter().copied().collect();
                     let slot = child_bag.iter().position(|v| v == vertex).unwrap();
-                    let mut t: HashMap<Vec<u32>, Natural> = HashMap::new();
-                    for (child_key, count) in &tables[*child] {
-                        let mut key = child_key.clone();
-                        key.remove(slot);
-                        *t.entry(key).or_insert_with(Natural::zero) += count;
-                    }
-                    t
+                    let build = |entries: &mut dyn Iterator<Item = Entry<'_>>| {
+                        let mut t = Table::new();
+                        for (child_key, count) in entries {
+                            let mut key = child_key.clone();
+                            key.remove(slot);
+                            *t.entry(key).or_insert_with(Natural::zero) += count;
+                        }
+                        t
+                    };
+                    // Distinct child keys may forget to the same key, so
+                    // partial tables merge by entry-wise sum.
+                    sharded_table(&tables[*child], threads, &build, |t, partial| {
+                        for (key, count) in partial {
+                            *t.entry(key).or_insert_with(Natural::zero) += &count;
+                        }
+                    })
                 }
                 NiceNode::Join { left, right } => {
                     let (small, large) = if tables[*left].len() <= tables[*right].len() {
@@ -167,13 +188,18 @@ impl TdCounter {
                     } else {
                         (&tables[*right], &tables[*left])
                     };
-                    let mut t = HashMap::new();
-                    for (key, count) in small {
-                        if let Some(other) = large.get(key) {
-                            t.insert(key.clone(), count * other);
+                    let build = |entries: &mut dyn Iterator<Item = Entry<'_>>| {
+                        let mut t = Table::new();
+                        for (key, count) in entries {
+                            if let Some(other) = large.get(key) {
+                                t.insert(key.clone(), count * other);
+                            }
                         }
-                    }
-                    t
+                        t
+                    };
+                    // Each small-table key appears in exactly one chunk:
+                    // partials are disjoint.
+                    sharded_table(small, threads, &build, Table::extend)
                 }
             };
             tables.push(table);
@@ -184,10 +210,105 @@ impl TdCounter {
             .unwrap_or_else(Natural::zero)
     }
 
-    /// Whether any satisfying assignment exists under the pins.
-    pub fn satisfiable(&self, pins: &[(u32, u32)]) -> bool {
-        !self.count(pins).is_zero()
+    fn introduce_table(
+        &self,
+        node_index: usize,
+        vertex: u32,
+        child_table: &Table,
+        pinned: &[Option<u32>],
+        threads: usize,
+    ) -> Table {
+        let bag: Vec<u32> = self.nice.bag(node_index).iter().copied().collect();
+        let slot = bag.iter().position(|&v| v == vertex).unwrap();
+        let candidates: Vec<u32> = match pinned[vertex as usize] {
+            Some(x) => vec![x],
+            None => (0..self.domain as u32).collect(),
+        };
+        let build = |entries: &mut dyn Iterator<Item = Entry<'_>>| {
+            let mut t = Table::new();
+            let mut scratch = Vec::new();
+            for (child_key, count) in entries {
+                for &x in &candidates {
+                    let mut key = child_key.clone();
+                    key.insert(slot, x);
+                    let ok = self.checks[node_index].iter().all(|&ci| {
+                        let c = &self.constraints[ci];
+                        scratch.clear();
+                        scratch.extend(c.scope.iter().map(|v| {
+                            let pos = bag.iter().position(|b| b == v).unwrap();
+                            key[pos]
+                        }));
+                        c.allowed.contains(&scratch)
+                    });
+                    if ok {
+                        *t.entry(key).or_insert_with(Natural::zero) += count;
+                    }
+                }
+            }
+            t
+        };
+        // (child_key, x) ↦ key is injective (remove the slot to invert),
+        // so chunk partials are disjoint and merge by plain union. The
+        // per-candidate fan-out counts toward the sharding threshold.
+        let weight = candidates.len().max(1);
+        sharded_table_weighted(child_table, threads, weight, &build, Table::extend)
     }
+}
+
+/// A DP table: bag assignment (in sorted-bag order) → extension count.
+type Table = BTreeMap<Vec<u32>, Natural>;
+
+/// One borrowed table entry, as the build closures consume it.
+type Entry<'a> = (&'a Vec<u32>, &'a Natural);
+
+/// Nodes whose per-table work (child entries × introduce fan-out) is
+/// below this run inline even under [`TdCounter::count_par`]; a scoped
+/// spawn costs more than rebuilding a small table.
+pub const PAR_NODE_THRESHOLD: usize = 2048;
+
+/// Builds a node table from `source` via `build`, splitting the source
+/// entries into contiguous sorted-order chunks across `threads` workers
+/// and combining the partial tables with `merge` (in chunk order). The
+/// sequential path (one thread, or a table below the threshold) streams
+/// straight off the `BTreeMap` with no intermediate allocation.
+fn sharded_table<'a, B, M>(source: &'a Table, threads: usize, build: &B, merge: M) -> Table
+where
+    B: Fn(&mut dyn Iterator<Item = Entry<'a>>) -> Table + Sync,
+    M: Fn(&mut Table, Table),
+{
+    sharded_table_weighted(source, threads, 1, build, merge)
+}
+
+/// [`sharded_table`] with a per-entry work multiplier (the introduce
+/// node's candidate fan-out) counted toward the parallelism threshold.
+fn sharded_table_weighted<'a, B, M>(
+    source: &'a Table,
+    threads: usize,
+    weight: usize,
+    build: &B,
+    merge: M,
+) -> Table
+where
+    B: Fn(&mut dyn Iterator<Item = Entry<'a>>) -> Table + Sync,
+    M: Fn(&mut Table, Table),
+{
+    if threads <= 1 || source.len().saturating_mul(weight) < PAR_NODE_THRESHOLD {
+        return build(&mut source.iter());
+    }
+    let entries: Vec<Entry<'a>> = source.iter().collect();
+    let ranges = crate::pool::split_ranges(entries.len() as u128, threads.saturating_mul(2));
+    let entries = &entries;
+    let jobs: Vec<_> = ranges
+        .into_iter()
+        .map(|(start, end)| {
+            move || build(&mut entries[start as usize..end as usize].iter().copied())
+        })
+        .collect();
+    let mut table = Table::new();
+    for partial in crate::pool::run_jobs(threads, jobs) {
+        merge(&mut table, partial);
+    }
+    table
 }
 
 /// Brute-force CSP counting (test oracle).
@@ -261,6 +382,13 @@ pub fn hom_constraints(a: &Structure, b: &Structure) -> Vec<CspConstraint> {
 /// small.
 pub fn count_homs_td(a: &Structure, b: &Structure) -> Natural {
     TdCounter::new(a.universe_size(), b.universe_size(), hom_constraints(a, b)).count(&[])
+}
+
+/// Like [`count_homs_td`], but shards the DP across up to `threads`
+/// threads (see [`TdCounter::count_par`]).
+pub fn count_homs_td_par(a: &Structure, b: &Structure, threads: usize) -> Natural {
+    TdCounter::new(a.universe_size(), b.universe_size(), hom_constraints(a, b))
+        .count_par(&[], threads)
 }
 
 #[cfg(test)]
@@ -382,6 +510,69 @@ mod tests {
         assert_eq!(counter.count(&[]).to_u64(), Some(0));
         let trivial = TdCounter::new(0, 0, Vec::new());
         assert_eq!(trivial.count(&[]).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn parallel_count_matches_sequential() {
+        // Chain CSP, triangle CSP, and an unconstrained space, at
+        // several thread counts and with user pins in play.
+        let succ: Vec<Vec<u32>> = (0..4u32).map(|x| vec![x, (x + 1) % 4]).collect();
+        let allowed: HashSet<Vec<u32>> = succ.into_iter().collect();
+        let chain: Vec<CspConstraint> = (0..4)
+            .map(|i| CspConstraint::new(vec![i, i + 1], allowed.clone()))
+            .collect();
+        let diff: HashSet<Vec<u32>> = (0..3u32)
+            .flat_map(|a| (0..3u32).filter(move |&b| a != b).map(move |b| vec![a, b]))
+            .collect();
+        let triangle = vec![
+            CspConstraint::new(vec![0, 1], diff.clone()),
+            CspConstraint::new(vec![1, 2], diff.clone()),
+            CspConstraint::new(vec![0, 2], diff),
+        ];
+        let cases = [
+            TdCounter::new(5, 4, chain),
+            TdCounter::new(3, 3, triangle),
+            TdCounter::new(4, 3, Vec::new()),
+        ];
+        for counter in &cases {
+            for pins in [&[][..], &[(0, 1)][..], &[(1, 2), (2, 0)][..]] {
+                let expected = counter.count(pins);
+                for threads in [1usize, 2, 3, 8] {
+                    assert_eq!(
+                        counter.count_par(pins, threads),
+                        expected,
+                        "pins {pins:?} at {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_count_degenerate_domains() {
+        // Domain 0 and 1, and a fully pinned instance, fall back to the
+        // sequential path.
+        let counter = TdCounter::new(2, 0, Vec::new());
+        assert_eq!(counter.count_par(&[], 4).to_u64(), Some(0));
+        let unary = TdCounter::new(3, 1, Vec::new());
+        assert_eq!(unary.count_par(&[], 4).to_u64(), Some(1));
+        let pinned = TdCounter::new(2, 3, Vec::new());
+        assert_eq!(pinned.count_par(&[(0, 1), (1, 2)], 4).to_u64(), Some(1));
+        let trivial = TdCounter::new(0, 5, Vec::new());
+        assert_eq!(trivial.count_par(&[], 4).to_u64(), Some(1));
+    }
+
+    #[test]
+    fn parallel_hom_counts_match() {
+        let c4 = digraph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let k3 = digraph(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)]);
+        let p4 = digraph(4, &[(0, 1), (1, 2), (2, 3)]);
+        for (a, b) in [(&p4, &k3), (&c4, &k3), (&p4, &c4), (&c4, &c4)] {
+            let expected = count_homs_td(a, b);
+            for threads in [2usize, 4] {
+                assert_eq!(count_homs_td_par(a, b, threads), expected);
+            }
+        }
     }
 
     #[test]

@@ -76,7 +76,76 @@ impl PpCountingEngine for FptEngine {
     }
 }
 
-/// All engines, for cross-checking loops.
+/// The parallel FPT engine (`fpt-par`): the \[CM15\] algorithm with its
+/// boundary enumeration and counting DP sharded across a scoped thread
+/// pool (see [`crate::pool`]). Counts are identical to [`FptEngine`] at
+/// every thread count.
+pub struct ParFptEngine {
+    /// Maximum worker threads; 1 reproduces the sequential engine.
+    pub threads: usize,
+}
+
+impl ParFptEngine {
+    /// An engine using up to `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ParFptEngine {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for ParFptEngine {
+    /// Uses every available hardware thread.
+    fn default() -> Self {
+        ParFptEngine::new(crate::pool::available_threads())
+    }
+}
+
+impl PpCountingEngine for ParFptEngine {
+    fn name(&self) -> &'static str {
+        "fpt-par"
+    }
+
+    fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
+        crate::fpt::count_pp_fpt_par(pp, b, self.threads)
+    }
+}
+
+/// The parallel brute-force engine (`brute-par`): exhaustive assignment
+/// enumeration with the flat index space split into contiguous shards
+/// (see [`crate::brute::count_pp_brute_par`]).
+pub struct ParBruteForceEngine {
+    /// Maximum worker threads; 1 reproduces the sequential engine.
+    pub threads: usize,
+}
+
+impl ParBruteForceEngine {
+    /// An engine using up to `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ParBruteForceEngine {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for ParBruteForceEngine {
+    /// Uses every available hardware thread.
+    fn default() -> Self {
+        ParBruteForceEngine::new(crate::pool::available_threads())
+    }
+}
+
+impl PpCountingEngine for ParBruteForceEngine {
+    fn name(&self) -> &'static str {
+        "brute-par"
+    }
+
+    fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
+        crate::brute::count_pp_brute_par(pp, b, self.threads)
+    }
+}
+
+/// The sequential engines, for cross-checking loops.
 pub fn all_engines() -> Vec<Box<dyn PpCountingEngine>> {
     vec![
         Box::new(BruteForceEngine),
@@ -84,6 +153,15 @@ pub fn all_engines() -> Vec<Box<dyn PpCountingEngine>> {
         Box::new(HomDpEngine),
         Box::new(FptEngine),
     ]
+}
+
+/// Every engine, sequential and parallel, the parallel ones capped at
+/// `threads` workers — the full cross-checking set.
+pub fn all_engines_with_parallel(threads: usize) -> Vec<Box<dyn PpCountingEngine>> {
+    let mut engines = all_engines();
+    engines.push(Box::new(ParFptEngine::new(threads)));
+    engines.push(Box::new(ParBruteForceEngine::new(threads)));
+    engines
 }
 
 #[cfg(test)]
@@ -128,7 +206,7 @@ mod tests {
             "(x,y) := exists u . E(x,u) & E(y,u)",
             "(x) := exists u, v . E(x,u) & E(u,v)",
         ];
-        let engines = all_engines();
+        let engines = all_engines_with_parallel(3);
         for b in structures() {
             for q in queries {
                 let pp = pp_of(q);
@@ -146,8 +224,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_engines_agree_at_every_thread_count() {
+        let pp = pp_of("(x,y) := exists u . E(x,u) & E(y,u)");
+        for b in structures() {
+            let expected = FptEngine.count(&pp, &b);
+            for threads in [1usize, 2, 4] {
+                assert_eq!(ParFptEngine::new(threads).count(&pp, &b), expected);
+                assert_eq!(ParBruteForceEngine::new(threads).count(&pp, &b), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_engine_defaults_use_available_hardware() {
+        assert!(ParFptEngine::default().threads >= 1);
+        assert!(ParBruteForceEngine::default().threads >= 1);
+        // A zero request is clamped to one worker.
+        assert_eq!(ParFptEngine::new(0).threads, 1);
+        assert_eq!(ParBruteForceEngine::new(0).threads, 1);
+    }
+
+    #[test]
     fn names_are_distinct() {
-        let names: Vec<&str> = all_engines().iter().map(|e| e.name()).collect();
+        let names: Vec<&str> = all_engines_with_parallel(2)
+            .iter()
+            .map(|e| e.name())
+            .collect();
+        assert_eq!(names.len(), 6);
         let mut deduped = names.clone();
         deduped.sort_unstable();
         deduped.dedup();

@@ -23,8 +23,9 @@
 //! With both treewidths bounded by the condition, the running time is
 //! `f(φ) · poly(|B|)` — the FPT regime of Theorem 3.2(1).
 
-use crate::brute::for_each_assignment;
+use crate::brute::{assignment_space, for_each_assignment, for_each_assignment_in_range};
 use crate::csp::{hom_constraints, CspConstraint, TdCounter};
+use crate::pool;
 use epq_bigint::Natural;
 use epq_logic::contract::existential_components;
 use epq_logic::PpFormula;
@@ -34,6 +35,27 @@ use std::collections::HashSet;
 /// Counts `|φ(B)|` with the FPT algorithm. Exact for *every* pp-formula;
 /// fixed-parameter tractable when the tractability condition holds.
 pub fn count_pp_fpt(pp: &PpFormula, b: &Structure) -> Natural {
+    count_pp_fpt_threaded(pp, b, 1)
+}
+
+/// Counts `|φ(B)|` with the FPT algorithm, sharding its two hot loops
+/// across up to `threads` threads:
+///
+/// * the per-∃-component **boundary enumeration** (`|B|^|∂|`
+///   satisfiability probes against the component's homomorphism DP)
+///   splits by contiguous ranges of the flat assignment order;
+/// * the final **counting DP** over the contract graph shards each
+///   node's table construction by sorted-order chunks of the child
+///   table ([`TdCounter::count_par`]).
+///
+/// Both merges (set union of extendable boundary tuples; disjoint
+/// unions / summed `Natural` partials) are order-insensitive, so the
+/// result is identical to [`count_pp_fpt`] at every thread count.
+pub fn count_pp_fpt_par(pp: &PpFormula, b: &Structure, threads: usize) -> Natural {
+    count_pp_fpt_threaded(pp, b, threads)
+}
+
+fn count_pp_fpt_threaded(pp: &PpFormula, b: &Structure, threads: usize) -> Natural {
     let core = pp.core();
     let s = core.liberal_count();
     let structure = core.structure();
@@ -73,15 +95,55 @@ pub fn count_pp_fpt(pp: &PpFormula, b: &Structure) -> Natural {
             continue;
         }
         // Enumerate boundary assignments; keep the extendable ones.
-        let mut allowed: HashSet<Vec<u32>> = HashSet::new();
         let arity = comp.boundary.len();
-        for_each_assignment(universe_size(b), arity, &mut |values| {
-            let pins: Vec<(u32, u32)> =
-                (0..arity as u32).map(|i| (i, values[i as usize])).collect();
-            if checker.satisfiable(&pins) {
-                allowed.insert(values.to_vec());
+        let total = assignment_space(universe_size(b), arity);
+        let allowed: HashSet<Vec<u32>> = match total {
+            Some(total) if threads > 1 && total > 1 => {
+                // Shard the boundary sweep: each worker probes one
+                // contiguous index range and returns its extendable
+                // tuples; the union is order-insensitive.
+                let checker = &checker;
+                let jobs: Vec<_> = pool::split_ranges(total, threads.saturating_mul(4))
+                    .into_iter()
+                    .map(|(start, end)| {
+                        move || {
+                            let mut found = Vec::new();
+                            let domain = universe_size(b);
+                            for_each_assignment_in_range(
+                                domain,
+                                arity,
+                                start,
+                                end,
+                                &mut |values| {
+                                    let pins: Vec<(u32, u32)> = (0..arity as u32)
+                                        .map(|i| (i, values[i as usize]))
+                                        .collect();
+                                    if checker.satisfiable(&pins) {
+                                        found.push(values.to_vec());
+                                    }
+                                },
+                            );
+                            found
+                        }
+                    })
+                    .collect();
+                pool::run_jobs(threads, jobs)
+                    .into_iter()
+                    .flatten()
+                    .collect()
             }
-        });
+            _ => {
+                let mut allowed = HashSet::new();
+                for_each_assignment(universe_size(b), arity, &mut |values| {
+                    let pins: Vec<(u32, u32)> =
+                        (0..arity as u32).map(|i| (i, values[i as usize])).collect();
+                    if checker.satisfiable(&pins) {
+                        allowed.insert(values.to_vec());
+                    }
+                });
+                allowed
+            }
+        };
         constraints.push(CspConstraint::new(comp.boundary.clone(), allowed));
     }
 
@@ -108,7 +170,7 @@ pub fn count_pp_fpt(pp: &PpFormula, b: &Structure) -> Natural {
     }
 
     // Count over S by DP on (a tree decomposition of) the contract graph.
-    TdCounter::new(s, universe_size(b), constraints).count(&[])
+    TdCounter::new(s, universe_size(b), constraints).count_par(&[], threads)
 }
 
 fn universe_size(b: &Structure) -> usize {
@@ -231,6 +293,38 @@ mod tests {
         let b = example_c();
         let pp = pp_of("(x) := exists u, v . E(x,u) & E(x,v)");
         assert_eq!(count_pp_fpt(&pp, &b).to_u64(), Some(4));
+    }
+
+    #[test]
+    fn parallel_fpt_matches_sequential() {
+        let b = example_c();
+        for text in [
+            "E(x,y)",
+            "(x,y,z) := E(x,y)",
+            "(x) := exists u . E(x,u) & E(u,u)",
+            "(x1,x2) := exists u . E(x1,u) & E(x2,u)",
+            "(x,y) := exists u, v . E(x,u) & E(u,v) & E(v,y)",
+            "(x) := E(x,x) & (exists a, b . E(a,b))",
+            "exists a . E(a,a)",
+        ] {
+            let pp = pp_of(text);
+            let expected = count_pp_fpt(&pp, &b);
+            for threads in [1usize, 2, 3, 8] {
+                assert_eq!(
+                    count_pp_fpt_par(&pp, &b, threads),
+                    expected,
+                    "query {text} at {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_fpt_on_empty_universe() {
+        let sig = Signature::from_symbols([("E", 2)]);
+        let empty = Structure::new(sig, 0);
+        let pp = pp_of("(x) := exists u . E(x,u)");
+        assert_eq!(count_pp_fpt_par(&pp, &empty, 4).to_u64(), Some(0));
     }
 
     #[test]

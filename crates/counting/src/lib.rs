@@ -21,7 +21,10 @@
 //!   assignments by dynamic programming over a tree decomposition of
 //!   contract(A, S);
 //! * [`engines`] — a common trait over the engines (brute force, relational
-//!   algebra, #Hom-DP, FPT) for the cross-checking tests and benchmarks;
+//!   algebra, #Hom-DP, FPT, and the work-sharded parallel variants
+//!   `fpt-par` / `brute-par`) for the cross-checking tests and benchmarks;
+//! * [`pool`] — the minimal scoped thread pool (std-only; the build
+//!   container is offline) backing the parallel engines;
 //! * [`clique`] — the clique ⇄ query encodings anchoring the hardness side
 //!   (cases (2) and (3) of the trichotomy);
 //! * [`decision`] — answer existence / model checking (the 1-or-0
@@ -33,6 +36,10 @@ pub mod csp;
 pub mod decision;
 pub mod engines;
 pub mod fpt;
+pub mod pool;
 
 pub use csp::{CspConstraint, TdCounter};
-pub use engines::{BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine, RelalgEngine};
+pub use engines::{
+    BruteForceEngine, FptEngine, HomDpEngine, ParBruteForceEngine, ParFptEngine, PpCountingEngine,
+    RelalgEngine,
+};

@@ -12,7 +12,8 @@ use epq_core::equivalence::{counting_equivalent, semi_counting_equivalent};
 use epq_core::iex::star;
 use epq_core::plus::plus_decomposition;
 use epq_counting::engines::{
-    BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine, RelalgEngine,
+    BruteForceEngine, FptEngine, HomDpEngine, ParBruteForceEngine, ParFptEngine, PpCountingEngine,
+    RelalgEngine,
 };
 use epq_logic::dnf;
 use epq_logic::parser::parse_query;
@@ -27,7 +28,7 @@ pub const USAGE: &str = "\
 epq — counting answers to existential positive queries (Chen & Mengel, PODS 2016)
 
 USAGE:
-  epq count    --query <Q> (--data <FILE> | --data-inline <S>) [--engine <E>]
+  epq count    --query <Q> (--data <FILE> | --data-inline <S>) [--engine <E>] [--threads <N>]
   epq classify --query <Q>
   epq star     --query <Q>
   epq plus     --query <Q>
@@ -37,7 +38,9 @@ USAGE:
 
 QUERY SYNTAX:    (x, y) := E(x,y) | (exists u . E(x,u) & E(u,y))
 STRUCTURE SYNTAX: structure { universe 4  E = { (0,1), (1,2) } }
-ENGINES:         fpt (default) | brute-force | relalg | hom-dp
+ENGINES:         fpt (default) | brute-force | relalg | hom-dp | fpt-par | brute-par
+THREADS:         --threads N caps the worker threads of the parallel engines
+                 (default: all available hardware threads)
 ";
 
 /// Runs the CLI with `args` (excluding the program name), writing to
@@ -169,12 +172,27 @@ fn load_structure(args: &[String]) -> Result<Structure, String> {
     parse_structure(&text).map_err(|e| e.to_string())
 }
 
+fn threads_from(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--threads") {
+        None => Ok(epq_counting::pool::available_threads()),
+        Some(text) => match text.parse::<usize>() {
+            Ok(n) if n >= 1 => Ok(n),
+            _ => Err(format!(
+                "--threads expects a positive integer, got {text:?}"
+            )),
+        },
+    }
+}
+
 fn engine_from(args: &[String]) -> Result<Box<dyn PpCountingEngine>, String> {
+    let threads = threads_from(args)?;
     match flag_value(args, "--engine").as_deref() {
         None | Some("fpt") => Ok(Box::new(FptEngine)),
         Some("brute-force") | Some("brute") => Ok(Box::new(BruteForceEngine)),
         Some("relalg") => Ok(Box::new(RelalgEngine)),
         Some("hom-dp") => Ok(Box::new(HomDpEngine)),
+        Some("fpt-par") => Ok(Box::new(ParFptEngine::new(threads))),
+        Some("brute-par") => Ok(Box::new(ParBruteForceEngine::new(threads))),
         Some(other) => Err(format!("unknown engine {other:?}")),
     }
 }
@@ -244,7 +262,14 @@ mod tests {
 
     #[test]
     fn count_with_each_engine() {
-        for engine in ["fpt", "brute-force", "relalg", "hom-dp"] {
+        for engine in [
+            "fpt",
+            "brute-force",
+            "relalg",
+            "hom-dp",
+            "fpt-par",
+            "brute-par",
+        ] {
             let out = run_ok(&[
                 "count",
                 "--query",
@@ -255,6 +280,46 @@ mod tests {
                 engine,
             ]);
             assert_eq!(out.trim(), "4", "engine {engine}");
+        }
+    }
+
+    #[test]
+    fn parallel_engines_match_fpt_at_each_thread_count() {
+        let query = "(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))";
+        let expected = run_ok(&["count", "--query", query, "--data-inline", DATA]);
+        for engine in ["fpt-par", "brute-par"] {
+            for threads in ["1", "2", "4"] {
+                let out = run_ok(&[
+                    "count",
+                    "--query",
+                    query,
+                    "--data-inline",
+                    DATA,
+                    "--engine",
+                    engine,
+                    "--threads",
+                    threads,
+                ]);
+                assert_eq!(out, expected, "engine {engine} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn bad_thread_counts_are_reported() {
+        for bad in ["0", "-2", "many"] {
+            let err = run_err(&[
+                "count",
+                "--query",
+                "E(x,y)",
+                "--data-inline",
+                DATA,
+                "--engine",
+                "fpt-par",
+                "--threads",
+                bad,
+            ]);
+            assert!(err.contains("--threads"), "got: {err}");
         }
     }
 

@@ -51,7 +51,8 @@ pub mod prelude {
     pub use epq_core::iex::star;
     pub use epq_core::plus::plus_decomposition;
     pub use epq_counting::engines::{
-        BruteForceEngine, FptEngine, HomDpEngine, PpCountingEngine, RelalgEngine,
+        BruteForceEngine, FptEngine, HomDpEngine, ParBruteForceEngine, ParFptEngine,
+        PpCountingEngine, RelalgEngine,
     };
     pub use epq_logic::parser::parse_query;
     pub use epq_logic::query::infer_signature;

@@ -5,8 +5,13 @@
 //! * brute-force ep evaluation (syntax-directed, the ground truth);
 //! * the φ*/φ⁺ pipeline with the FPT engine (`epq-core`);
 //! * the φ*/φ⁺ pipeline with the brute-force pp engine;
+//! * the φ*/φ⁺ pipeline with the work-sharded parallel engines
+//!   (`fpt-par` / `brute-par`, at 2 and 4 threads);
 //! * relational-algebra UCQ materialization (`epq-relalg`);
 //! * disjunct-level brute union counting.
+//!
+//! (Engine-level randomized agreement, including thread-count
+//! invariance, lives in `crates/counting/tests/proptests.rs`.)
 
 use epq::prelude::*;
 use epq_counting::brute;
@@ -31,6 +36,21 @@ fn check_all_paths(query: &Query, b: &Structure) {
         via_bf, expected,
         "φ* pipeline + brute engine\nquery: {query}"
     );
+
+    for threads in [2usize, 4] {
+        let via_fpt_par =
+            epq::core::count::count_ep(query, &sig, b, &ParFptEngine::new(threads)).unwrap();
+        assert_eq!(
+            via_fpt_par, expected,
+            "φ* pipeline + fpt-par engine at {threads} threads\nquery: {query}\nB: {b}"
+        );
+        let via_brute_par =
+            epq::core::count::count_ep(query, &sig, b, &ParBruteForceEngine::new(threads)).unwrap();
+        assert_eq!(
+            via_brute_par, expected,
+            "φ* pipeline + brute-par engine at {threads} threads\nquery: {query}\nB: {b}"
+        );
+    }
 
     let ds = dnf::disjuncts(query, &sig).unwrap();
     let via_relalg = epq::relalg::count_ucq(&ds, b);
