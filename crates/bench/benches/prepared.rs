@@ -1,0 +1,92 @@
+//! P2 — the prepared-query architecture: prepare-once vs
+//! prepare-per-call amortization, cached vs uncached classification,
+//! and batched vs looped counting over many structures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epq_core::prepared::{classifier_cache_clear, classify_query_cached, PreparedQuery};
+use epq_logic::parser::parse_query;
+use epq_logic::query::infer_signature;
+use epq_logic::Query;
+use epq_workloads::data;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Example 4.2's three-disjunct UCQ: enough `φ*` cancellation work to
+/// make the per-query phase visible next to small-structure counting.
+fn workload_query() -> (Query, epq_structures::Signature) {
+    let q = parse_query("(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))")
+        .unwrap();
+    let sig = infer_signature([q.formula()]).unwrap();
+    (q, sig)
+}
+
+fn prepare_once_vs_per_call(c: &mut Criterion) {
+    let (q, sig) = workload_query();
+    let batch = data::random_digraph_batch(&mut StdRng::seed_from_u64(11), 32, 8, 0.2);
+    let mut group = c.benchmark_group("P2/prepare");
+    group.sample_size(10);
+    group.bench_function("per-call-32", |b| {
+        b.iter(|| {
+            // The un-amortized pipeline: the per-query phase rebuilt
+            // for every structure (cache bypassed).
+            batch
+                .iter()
+                .map(|s| PreparedQuery::prepare_uncached(&q, &sig).unwrap().count(s))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.bench_function("once-32", |b| {
+        b.iter(|| {
+            let prepared = PreparedQuery::prepare_uncached(&q, &sig).unwrap();
+            batch.iter().map(|s| prepared.count(s)).collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+fn batch_vs_loop(c: &mut Criterion) {
+    let (q, sig) = workload_query();
+    let batch = data::random_digraph_batch(&mut StdRng::seed_from_u64(13), 32, 12, 0.15);
+    let prepared = PreparedQuery::prepare(&q, &sig).unwrap();
+    let mut group = c.benchmark_group("P2/batch");
+    group.sample_size(10);
+    group.bench_function("loop-32", |b| {
+        b.iter(|| batch.iter().map(|s| prepared.count(s)).collect::<Vec<_>>());
+    });
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("pool-32", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| prepared.count_batch(&batch, threads));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn cached_vs_uncached_classification(c: &mut Criterion) {
+    let (q, sig) = workload_query();
+    let mut group = c.benchmark_group("P2/classify");
+    group.sample_size(10);
+    group.bench_function("uncached", |b| {
+        b.iter(|| {
+            classifier_cache_clear();
+            classify_query_cached(&q, &sig).unwrap()
+        });
+    });
+    // Warm the cache once, then measure the steady state.
+    let _ = classify_query_cached(&q, &sig).unwrap();
+    group.bench_function("cached", |b| {
+        b.iter(|| classify_query_cached(&q, &sig).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    prepare_once_vs_per_call,
+    batch_vs_loop,
+    cached_vs_uncached_classification
+);
+criterion_main!(benches);

@@ -1,13 +1,14 @@
 //! Regenerates every table and series recorded in `EXPERIMENTS.md`
-//! (ids `T1`, `E1`–`E6`, `F1`–`F4`, `A1`–`A3`), plus the `P1`
-//! parallel-engine comparison that doubles as CI's bench-smoke gate
-//! (writes `BENCH_engines.json`; exits nonzero on any
-//! parallel-vs-sequential count disagreement).
+//! (ids `T1`, `E1`–`E6`, `F1`–`F4`, `A1`–`A3`), plus the CI
+//! bench-smoke gates: `P1` (parallel engines vs sequential; writes
+//! `BENCH_engines.json`) and `P2` (prepared-query amortization and
+//! batched counting; writes `BENCH_prepared.json`). Both gates exit
+//! nonzero on any count disagreement.
 //!
 //! ```sh
 //! cargo run -p epq-bench --release --bin experiments            # all
 //! cargo run -p epq-bench --release --bin experiments -- T1 F2  # some
-//! cargo run -p epq-bench --release --bin experiments -- P1     # CI gate
+//! cargo run -p epq-bench --release --bin experiments -- P1 P2  # CI gates
 //! ```
 
 use epq_bench::{json_escape, pp_of, row, rule, time_engine, time_us};
@@ -70,6 +71,9 @@ fn main() {
     }
     if want("P1") {
         p1_parallel_engines();
+    }
+    if want("P2") {
+        p2_prepared_queries();
     }
     if want("A1") {
         a1_distinguisher_ablation();
@@ -251,6 +255,269 @@ fn p1_json(rows: &[P1Row], host_threads: usize, disagreements: usize) -> String 
             r.threads,
             r.median_us,
             json_escape(&r.count),
+            r.agrees,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One measured configuration of the P2 prepared-query comparison.
+struct P2Row {
+    series: &'static str,
+    variant: String,
+    batch: usize,
+    threads: usize,
+    median_us: f64,
+    agrees: bool,
+}
+
+/// P2 — the prepared-query architecture: prepare-once vs
+/// prepare-per-call on a 32-structure batch, batch-vs-loop fan-out at
+/// 1/2/4 threads, and the classifier cache. Writes `BENCH_prepared.json`
+/// (override the path with `EPQ_BENCH_PREPARED_JSON`); **exits nonzero
+/// if any amortized or batched count disagrees** with the
+/// prepare-per-call sequential reference — CI's second bench-smoke
+/// gate.
+fn p2_prepared_queries() {
+    use epq_core::prepared::{classifier_cache_clear, classifier_cache_stats, PreparedQuery};
+
+    println!("== P2: prepared queries — amortized classification and batched counting ==");
+    let host = epq_counting::pool::available_threads();
+    println!("  host threads: {host}");
+    let query =
+        parse_query("(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y))")
+            .unwrap();
+    let sig = infer_signature([query.formula()]).unwrap();
+    let batch = data::random_digraph_batch(&mut StdRng::seed_from_u64(2024), 32, 10, 0.18);
+    let mut rows: Vec<P2Row> = Vec::new();
+
+    let widths = [16, 18, 8, 8, 12, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "series".into(),
+                "variant".into(),
+                "batch".into(),
+                "threads".into(),
+                "median us".into(),
+                "agree".into()
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let print_row = |r: &P2Row| {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.series.into(),
+                    r.variant.clone(),
+                    r.batch.to_string(),
+                    r.threads.to_string(),
+                    format!("{:.0}", r.median_us),
+                    r.agrees.to_string()
+                ],
+                &widths
+            )
+        );
+    };
+
+    // The reference: the whole per-query phase redone per structure.
+    let reference: Vec<String> = batch
+        .iter()
+        .map(|b| {
+            PreparedQuery::prepare_uncached(&query, &sig)
+                .unwrap()
+                .count(b)
+                .to_string()
+        })
+        .collect();
+    let per_call_us = time_us(3, || {
+        for b in &batch {
+            let _ = PreparedQuery::prepare_uncached(&query, &sig)
+                .unwrap()
+                .count(b);
+        }
+    });
+    rows.push(P2Row {
+        series: "prepare",
+        variant: "per-call".into(),
+        batch: batch.len(),
+        threads: 1,
+        median_us: per_call_us,
+        agrees: true,
+    });
+    print_row(rows.last().unwrap());
+
+    // Prepare once, count in a sequential loop.
+    let prepared = PreparedQuery::prepare_uncached(&query, &sig).unwrap();
+    let once: Vec<String> = batch
+        .iter()
+        .map(|b| prepared.count(b).to_string())
+        .collect();
+    let once_us = time_us(3, || {
+        let p = PreparedQuery::prepare_uncached(&query, &sig).unwrap();
+        for b in &batch {
+            let _ = p.count(b);
+        }
+    });
+    rows.push(P2Row {
+        series: "prepare",
+        variant: "once+loop".into(),
+        batch: batch.len(),
+        threads: 1,
+        median_us: once_us,
+        agrees: once == reference,
+    });
+    print_row(rows.last().unwrap());
+    println!(
+        "  -> prepare-once speedup over prepare-per-call: {:.2}x (query-phase amortization; \
+thread-count independent)",
+        per_call_us / once_us
+    );
+
+    // Batched fan-out at 1/2/4 threads against the sequential loop.
+    let loop_us = time_us(3, || {
+        for b in &batch {
+            let _ = prepared.count(b);
+        }
+    });
+    rows.push(P2Row {
+        series: "batch",
+        variant: "loop".into(),
+        batch: batch.len(),
+        threads: 1,
+        median_us: loop_us,
+        agrees: true,
+    });
+    print_row(rows.last().unwrap());
+    let mut widest_us = loop_us;
+    for threads in [1usize, 2, 4] {
+        let counts: Vec<String> = prepared
+            .count_batch(&batch, threads)
+            .iter()
+            .map(|n| n.to_string())
+            .collect();
+        let us = time_us(3, || {
+            let _ = prepared.count_batch(&batch, threads);
+        });
+        widest_us = us;
+        rows.push(P2Row {
+            series: "batch",
+            variant: format!("pool/{threads}t"),
+            batch: batch.len(),
+            threads,
+            median_us: us,
+            agrees: counts == reference,
+        });
+        print_row(rows.last().unwrap());
+    }
+    println!(
+        "  -> batch speedup at 4 threads: {:.2}x{}",
+        loop_us / widest_us,
+        if host < 2 {
+            " (single-core host: expect ~1x)"
+        } else {
+            ""
+        }
+    );
+
+    // Classifier cache: second classification of the same canonical
+    // query must be a hit.
+    classifier_cache_clear();
+    let before = classifier_cache_stats();
+    let cold_us = time_us(1, || {
+        let _ = PreparedQuery::prepare(&query, &sig)
+            .unwrap()
+            .analysis()
+            .max_core_treewidth;
+    });
+    let warm_us = time_us(3, || {
+        let _ = PreparedQuery::prepare(&query, &sig)
+            .unwrap()
+            .analysis()
+            .max_core_treewidth;
+    });
+    let after = classifier_cache_stats();
+    let cache_ok = after.hits > before.hits;
+    rows.push(P2Row {
+        series: "classify",
+        variant: "cold".into(),
+        batch: 1,
+        threads: 1,
+        median_us: cold_us,
+        agrees: true,
+    });
+    print_row(rows.last().unwrap());
+    rows.push(P2Row {
+        series: "classify",
+        variant: "cached".into(),
+        batch: 1,
+        threads: 1,
+        median_us: warm_us,
+        agrees: cache_ok,
+    });
+    print_row(rows.last().unwrap());
+    println!(
+        "  -> cached classification speedup: {:.2}x (cache hits {} -> {})",
+        cold_us / warm_us,
+        before.hits,
+        after.hits
+    );
+
+    let disagreements = rows.iter().filter(|r| !r.agrees).count();
+    let path = std::env::var("EPQ_BENCH_PREPARED_JSON")
+        .unwrap_or_else(|_| "BENCH_prepared.json".to_string());
+    let json = p2_json(
+        &rows,
+        host,
+        disagreements,
+        per_call_us / once_us,
+        loop_us / widest_us,
+    );
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  report written to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+    if disagreements > 0 {
+        eprintln!(
+            "P2 FAILED: {disagreements} prepared/batched count(s) disagree with the reference"
+        );
+        std::process::exit(1);
+    }
+    println!("  all prepared and batched counts agree with the per-call reference \u{2714}\n");
+}
+
+/// Renders the P2 report as JSON (by hand; the container has no serde).
+fn p2_json(
+    rows: &[P2Row],
+    host_threads: usize,
+    disagreements: usize,
+    prepare_speedup: f64,
+    batch_speedup: f64,
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"P2\",\n");
+    out.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    out.push_str(&format!("  \"disagreements\": {disagreements},\n"));
+    out.push_str(&format!(
+        "  \"prepare_once_speedup\": {prepare_speedup:.2},\n"
+    ));
+    out.push_str(&format!("  \"batch_speedup\": {batch_speedup:.2},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"series\": \"{}\", \"variant\": \"{}\", \"batch\": {}, \
+\"threads\": {}, \"median_us\": {:.1}, \"agrees\": {}}}{}\n",
+            json_escape(r.series),
+            json_escape(&r.variant),
+            r.batch,
+            r.threads,
+            r.median_us,
             r.agrees,
             if i + 1 == rows.len() { "" } else { "," }
         ));
@@ -574,7 +841,7 @@ fn e4_theta_plus() {
     println!(
         "  theta*_af: {} terms; theta-_af: {}",
         dec.star_af.len(),
-        dec.minus_af.len()
+        dec.minus_af().len()
     );
     println!("  theta+ =");
     for f in &dec.plus {

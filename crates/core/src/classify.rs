@@ -81,8 +81,19 @@ pub struct QueryAnalysis {
 }
 
 /// Computes `φ⁺` and analyzes every formula in it.
+///
+/// This is the uncached primitive; [`crate::prepared::classify_query_cached`]
+/// (and [`crate::prepared::PreparedQuery`]) memoize the result process-wide
+/// by the query's canonical form.
 pub fn classify_query(query: &Query, signature: &Signature) -> Result<QueryAnalysis, LogicError> {
     let dec = plus_decomposition(query, signature)?;
+    Ok(analyze_decomposition(&dec))
+}
+
+/// Analyzes every formula of an already-computed `φ⁺` decomposition
+/// (the per-query phase split out so prepared queries can run it
+/// lazily and share the result).
+pub fn analyze_decomposition(dec: &crate::plus::PlusDecomposition) -> QueryAnalysis {
     let plus_analyses: Vec<PpAnalysis> = dec.plus.iter().map(analyze_pp).collect();
     let max_core_treewidth = plus_analyses
         .iter()
@@ -94,11 +105,11 @@ pub fn classify_query(query: &Query, signature: &Signature) -> Result<QueryAnaly
         .map(|a| a.contract_treewidth.upper())
         .max()
         .unwrap_or(0);
-    Ok(QueryAnalysis {
+    QueryAnalysis {
         plus_analyses,
         max_core_treewidth,
         max_contract_treewidth,
-    })
+    }
 }
 
 /// Applies Theorem 3.2 given width measures and a width bound `w`

@@ -15,9 +15,10 @@
 //! algorithm by default), which is what makes the whole pipeline FPT when
 //! `φ⁺` satisfies the tractability condition.
 
-use crate::plus::{plus_decomposition, PlusDecomposition};
+use crate::plus::PlusDecomposition;
+use crate::prepared::PreparedQuery;
 use epq_bigint::{Integer, Natural};
-use epq_counting::engines::{FptEngine, PpCountingEngine};
+use epq_counting::engines::PpCountingEngine;
 use epq_logic::query::LogicError;
 use epq_logic::Query;
 use epq_structures::{hom, Signature, Structure};
@@ -45,11 +46,12 @@ pub fn count_ep_with(
             return Natural::from(b.universe_size()).pow(liberal_count as u32);
         }
     }
-    // No sentence disjunct holds: terms outside φ⁻_af count 0.
-    let keep: std::collections::BTreeSet<usize> = decomposition.minus_af.iter().copied().collect();
+    // No sentence disjunct holds: terms outside φ⁻_af count 0. The
+    // membership mask is precomputed at decomposition time, so this
+    // per-structure hot path allocates nothing per call.
     let mut acc = Integer::zero();
-    for (i, term) in decomposition.star_af.iter().enumerate() {
-        if !keep.contains(&i) {
+    for (term, &kept) in decomposition.star_af.iter().zip(&decomposition.kept) {
+        if !kept {
             continue;
         }
         let count = Integer::from(engine.count(&term.formula, b));
@@ -61,19 +63,19 @@ pub fn count_ep_with(
 
 /// Counts `|φ(B)|` for an arbitrary ep-query: the paper's counting
 /// algorithm end to end (normalize → sentence check → signed `φ*` sum).
+///
+/// A thin wrapper over [`PreparedQuery`]: the per-query phase goes
+/// through the process-wide prepared-query cache, so repeated calls
+/// with canonically-equal queries pay it once. Hold a [`PreparedQuery`]
+/// directly (or use [`crate::prepared::count_ep_batch`]) to amortize
+/// explicitly over many structures.
 pub fn count_ep(
     query: &Query,
     signature: &Signature,
     b: &Structure,
     engine: &dyn PpCountingEngine,
 ) -> Result<Natural, LogicError> {
-    let decomposition = plus_decomposition(query, signature)?;
-    Ok(count_ep_with(
-        &decomposition,
-        query.liberal_count(),
-        b,
-        engine,
-    ))
+    Ok(PreparedQuery::prepare(query, signature)?.count_with(b, engine))
 }
 
 /// Convenience: parse, infer the signature, and count with the FPT
@@ -82,7 +84,9 @@ pub fn count_ep_text(query_text: &str, b: &Structure) -> Natural {
     let query = epq_logic::parser::parse_query(query_text).expect("query parses");
     epq_logic::query::check_against_signature(query.formula(), b.signature())
         .expect("query matches the structure's signature");
-    count_ep(&query, b.signature(), b, &FptEngine).expect("counting succeeds")
+    let prepared =
+        PreparedQuery::prepare(&query, b.signature()).expect("prepared query construction");
+    prepared.count(b)
 }
 
 #[cfg(test)]

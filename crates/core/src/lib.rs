@@ -25,7 +25,11 @@
 //!   executable oracle algorithms: distinguishing-structure search
 //!   (Lemma 5.12), Vandermonde recovery over products `B × C^ℓ`
 //!   (Example 4.3 / Theorem 5.20), class splitting (Lemma 5.18), and the
-//!   treated-structure tricks for the general case (Appendix A).
+//!   treated-structure tricks for the general case (Appendix A);
+//! * [`prepared`] — the **prepared-query architecture**: the per-query
+//!   phase (normalize → `φ⁺` → width analysis) computed once and
+//!   memoized process-wide by canonical form, with batched,
+//!   pool-parallel per-structure counting ([`count_ep_batch`]).
 
 pub mod classify;
 pub mod count;
@@ -34,9 +38,14 @@ pub mod equivalence;
 pub mod iex;
 pub mod oracle;
 pub mod plus;
+pub mod prepared;
 
 pub use classify::{classify_query, QueryAnalysis, Regime};
 pub use count::count_ep;
 pub use equivalence::{counting_equivalent, renaming_equivalent, semi_counting_equivalent};
 pub use iex::{inclusion_exclusion_terms, star, SignedPp};
 pub use plus::{plus_decomposition, PlusDecomposition};
+pub use prepared::{
+    classifier_cache_clear, classifier_cache_stats, classify_query_cached, count_ep_batch,
+    CacheStats, PreparedQuery,
+};

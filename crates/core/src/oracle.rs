@@ -295,7 +295,7 @@ pub fn recover_plus_counts(
 ) -> Vec<(PpFormula, Natural)> {
     let mut results = Vec::new();
     // φ⁻_af members: recover on B × C_ψ where C_ψ is ψ's own structure.
-    for &star_index in &decomposition.minus_af {
+    for star_index in decomposition.minus_af() {
         let psi = &decomposition.star_af[star_index].formula;
         let c_psi = psi.structure().clone();
         let target = ops::direct_product(b, &c_psi);

@@ -34,19 +34,34 @@ pub struct PlusDecomposition {
     pub sentences: Vec<PpFormula>,
     /// `φ*_af`: signed, cancelled inclusion–exclusion terms of `φ_af`.
     pub star_af: Vec<SignedPp>,
-    /// Indices into `star_af` of the formulas in `φ⁻_af` (those that do
-    /// not entail any sentence disjunct).
-    pub minus_af: Vec<usize>,
+    /// `kept[i]` ⇔ star term `i` belongs to `φ⁻_af` (it entails no
+    /// sentence disjunct) — precomputed here so the counting hot path
+    /// ([`crate::count`]) never rebuilds a lookup set per structure.
+    /// [`PlusDecomposition::minus_af`] derives the index list from
+    /// this single source of truth.
+    pub kept: Vec<bool>,
     /// `φ⁺ = φ⁻_af ∪ sentences`.
     pub plus: Vec<PpFormula>,
 }
 
 impl PlusDecomposition {
+    /// Indices into `star_af` of the formulas in `φ⁻_af` (those that
+    /// do not entail any sentence disjunct), derived from
+    /// [`PlusDecomposition::kept`].
+    pub fn minus_af(&self) -> Vec<usize> {
+        self.kept
+            .iter()
+            .enumerate()
+            .filter(|(_, &k)| k)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
     /// The formulas of `φ⁻_af`.
     pub fn minus_af_formulas(&self) -> Vec<&PpFormula> {
-        self.minus_af
-            .iter()
-            .map(|&i| &self.star_af[i].formula)
+        self.minus_af()
+            .into_iter()
+            .map(|i| &self.star_af[i].formula)
             .collect()
     }
 }
@@ -57,7 +72,14 @@ pub fn plus_decomposition(
     signature: &Signature,
 ) -> Result<PlusDecomposition, LogicError> {
     let raw = dnf::disjuncts(query, signature)?;
-    let disjuncts = dnf::normalize(raw);
+    Ok(plus_decomposition_of_normalized(dnf::normalize(raw)))
+}
+
+/// The `φ⁺` construction starting from already **normalized** disjuncts
+/// (the output of [`dnf::normalize`]). [`crate::prepared`] uses this to
+/// avoid re-expanding the DNF after computing a query's canonical cache
+/// key from the same disjunct list.
+pub fn plus_decomposition_of_normalized(disjuncts: Vec<PpFormula>) -> PlusDecomposition {
     let (all_free, sentences): (Vec<PpFormula>, Vec<PpFormula>) =
         disjuncts.iter().cloned().partition(|d| d.is_free());
     let star_af = if all_free.is_empty() {
@@ -65,25 +87,25 @@ pub fn plus_decomposition(
     } else {
         star(&all_free)
     };
-    let minus_af: Vec<usize> = star_af
+    let kept: Vec<bool> = star_af
         .iter()
-        .enumerate()
-        .filter(|(_, term)| !sentences.iter().any(|theta| term.formula.entails(theta)))
-        .map(|(i, _)| i)
+        .map(|term| !sentences.iter().any(|theta| term.formula.entails(theta)))
         .collect();
-    let mut plus: Vec<PpFormula> = minus_af
+    let mut plus: Vec<PpFormula> = star_af
         .iter()
-        .map(|&i| star_af[i].formula.clone())
+        .zip(&kept)
+        .filter(|(_, &k)| k)
+        .map(|(term, _)| term.formula.clone())
         .collect();
     plus.extend(sentences.iter().cloned());
-    Ok(PlusDecomposition {
+    PlusDecomposition {
         disjuncts,
         all_free,
         sentences,
         star_af,
-        minus_af,
+        kept,
         plus,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -120,8 +142,8 @@ mod tests {
         // θ*_af = {φ1, φ1∧φ3} (Example 5.15).
         assert_eq!(dec.star_af.len(), 2);
         // φ1∧φ3 (the 3-path w→x→y→z) entails θ1; φ1 does not.
-        assert_eq!(dec.minus_af.len(), 1, "θ⁻_af = {{φ1}}");
-        let kept = &dec.star_af[dec.minus_af[0]];
+        assert_eq!(dec.minus_af().len(), 1, "θ⁻_af = {{φ1}}");
+        let kept = &dec.star_af[dec.minus_af()[0]];
         assert_eq!(kept.formula.structure().tuple_count(), 2);
         // θ⁺ = {φ1, θ1}.
         assert_eq!(dec.plus.len(), 2);
@@ -163,8 +185,35 @@ mod tests {
         let dec = decompose("(x, y) := E(x,y) | (exists a . F(a,a))");
         assert_eq!(dec.all_free.len(), 1);
         assert_eq!(dec.sentences.len(), 1);
-        assert_eq!(dec.minus_af.len(), 1);
+        assert_eq!(dec.minus_af().len(), 1);
         assert_eq!(dec.plus.len(), 2);
+    }
+
+    #[test]
+    fn kept_mask_drives_minus_af() {
+        for text in [
+            "(w,x,y,z) := (E(x,y) & E(y,z)) | (E(z,w) & E(w,x)) | (E(w,x) & E(x,y)) \
+             | (exists a, b, c, d . E(a,b) & E(b,c) & E(c,d))",
+            "(x, y) := E(x,y) | F(x,y) | (exists a, b . E(a,b) & F(a,b))",
+            "E(x,y) & E(y,z)",
+            "exists a, b . E(a,b)",
+        ] {
+            let dec = decompose(text);
+            assert_eq!(dec.kept.len(), dec.star_af.len(), "{text}");
+            for &i in &dec.minus_af() {
+                assert!(dec.kept[i], "{text}");
+            }
+            assert_eq!(
+                dec.minus_af().len(),
+                dec.kept.iter().filter(|&&k| k).count(),
+                "{text}"
+            );
+            assert_eq!(
+                dec.minus_af_formulas().len(),
+                dec.minus_af().len(),
+                "{text}"
+            );
+        }
     }
 
     #[test]
@@ -174,7 +223,7 @@ mod tests {
         // ∃a,b(E(a,b)∧F(a,b)) → φ⁻_af = {E, F}.
         let dec = decompose("(x, y) := E(x,y) | F(x,y) | (exists a, b . E(a,b) & F(a,b))");
         assert_eq!(dec.star_af.len(), 3);
-        assert_eq!(dec.minus_af.len(), 2);
+        assert_eq!(dec.minus_af().len(), 2);
         assert_eq!(dec.plus.len(), 3);
     }
 }

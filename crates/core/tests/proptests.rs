@@ -1,0 +1,129 @@
+//! Property tests for `epq-core`: the oracle reductions round-trip on
+//! random queries/structures, and the batched prepared-query API is
+//! bit-identical to sequential counting at every thread count.
+
+use epq_core::count::{count_ep, count_ep_with};
+use epq_core::iex::star;
+use epq_core::oracle;
+use epq_core::plus::plus_decomposition;
+use epq_core::prepared::{count_ep_batch, PreparedQuery};
+use epq_counting::brute;
+use epq_counting::engines::FptEngine;
+use epq_logic::dnf;
+use epq_workloads::{data, queries};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    // The oracle pipeline multiplies structure sizes (products B × C^ℓ
+    // verified by brute force), so keep the case budget and the inputs
+    // deliberately small.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_free_recovery_roundtrips_on_random_ucqs(
+        qseed in 0u64..5000,
+        sseed in 0u64..5000,
+    ) {
+        // Quantifier-free disjuncts keep every star term free; two
+        // variables and two disjuncts keep the Vandermonde products
+        // (whose recovered counts the test verifies by brute force)
+        // small enough for the debug profile.
+        let (disjuncts, n) = (2usize, 2usize);
+        let query = queries::random_ucq(
+            &mut StdRng::seed_from_u64(qseed), disjuncts, 2, 2, 0.0);
+        let sig = data::digraph_signature();
+        let ds = dnf::disjuncts(&query, &sig).unwrap();
+        prop_assume!(ds.iter().all(|d| d.is_free()));
+        let star_terms = star(&ds);
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(sseed), n, 0.45);
+        let mut oracle_fn =
+            |d: &epq_structures::Structure| count_ep(&query, &sig, d, &FptEngine).unwrap();
+        let recovered = oracle::recover_all_free_counts(&star_terms, &b, &mut oracle_fn);
+        prop_assert_eq!(recovered.counts.len(), star_terms.len());
+        prop_assert!(recovered.oracle_queries >= 1);
+        for (i, count) in &recovered.counts {
+            let direct = brute::count_pp_brute(&star_terms[*i].formula, &b);
+            prop_assert_eq!(count, &direct, "star term {}", i);
+        }
+    }
+
+    #[test]
+    fn general_recovery_roundtrips_with_sentence_disjuncts(
+        qseed in 0u64..5000,
+        sseed in 0u64..5000,
+    ) {
+        // A free part plus a random fully-quantified sentence disjunct
+        // (built over fresh variable names so the sentence's binders
+        // cannot capture the free part's liberal variables).
+        let free = queries::random_ucq(&mut StdRng::seed_from_u64(qseed), 2, 2, 1, 0.0);
+        let sentence = {
+            use rand::Rng;
+            let mut rng = StdRng::seed_from_u64(qseed + 1);
+            let names = ["s0", "s1"];
+            let atoms: Vec<epq_logic::Formula> = (0..2)
+                .map(|_| {
+                    epq_logic::Formula::atom(
+                        "E",
+                        &[
+                            names[rng.gen_range(0..2usize)],
+                            names[rng.gen_range(0..2usize)],
+                        ],
+                    )
+                })
+                .collect();
+            epq_logic::Formula::exists(&names, epq_logic::Formula::conjunction(atoms))
+        };
+        let formula = epq_logic::Formula::Or(
+            Box::new(free.formula().clone()),
+            Box::new(sentence),
+        );
+        let query = epq_logic::Query::new(formula, free.liberal().to_vec()).unwrap();
+        let sig = data::digraph_signature();
+        let dec = plus_decomposition(&query, &sig).unwrap();
+        let b = data::random_digraph(&mut StdRng::seed_from_u64(sseed), 2, 0.5);
+        let mut oracle_fn = |d: &epq_structures::Structure| {
+            count_ep_with(&dec, query.liberal_count(), d, &FptEngine)
+        };
+        let recovered =
+            oracle::recover_plus_counts(&dec, query.liberal_count(), &b, &mut oracle_fn);
+        prop_assert_eq!(recovered.len(), dec.plus.len());
+        for (formula, count) in &recovered {
+            let direct = brute::count_pp_brute(formula, &b);
+            prop_assert_eq!(count, &direct, "formula {}", formula);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_counts_match_sequential_loop_at_every_thread_count(
+        qseed in 0u64..10_000,
+        sseed in 0u64..10_000,
+        batch in 1usize..=12,
+        n in 1usize..=4,
+    ) {
+        let query = queries::random_ucq(&mut StdRng::seed_from_u64(qseed), 2, 3, 2, 0.3);
+        let sig = data::digraph_signature();
+        let structures =
+            data::random_digraph_batch(&mut StdRng::seed_from_u64(sseed), batch, n, 0.4);
+        let prepared = PreparedQuery::prepare(&query, &sig).unwrap();
+        // The reference: one-at-a-time counting through the plain API
+        // (itself cross-checked against brute force elsewhere).
+        let sequential: Vec<_> = structures
+            .iter()
+            .map(|b| count_ep(&query, &sig, b, &FptEngine).unwrap())
+            .collect();
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(
+                prepared.count_batch(&structures, threads),
+                sequential.clone(),
+                "threads = {}", threads
+            );
+        }
+        prop_assert_eq!(count_ep_batch(&prepared, &structures), sequential);
+    }
+}

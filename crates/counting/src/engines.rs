@@ -6,7 +6,13 @@ use epq_logic::PpFormula;
 use epq_structures::Structure;
 
 /// An engine that computes `|φ(B)|` for prenex pp-formulas.
-pub trait PpCountingEngine {
+///
+/// Engines are `Send + Sync` so that one engine instance can serve
+/// counts for many structures concurrently (the batched counting API
+/// in `epq_core::prepared` fans a shared `&dyn PpCountingEngine`
+/// across the pool workers). All engines here are stateless or hold
+/// only a thread cap, so the bound is free.
+pub trait PpCountingEngine: Send + Sync {
     /// A short display name for reports.
     fn name(&self) -> &'static str;
 
@@ -145,6 +151,41 @@ impl PpCountingEngine for ParBruteForceEngine {
     }
 }
 
+/// The pool-parallel relational-algebra engine (`relalg-par`): each
+/// join's outer relation is partitioned across the shared `epq-pool`
+/// workers (see [`epq_relalg::count_pp_par`]). Counts are identical to
+/// [`RelalgEngine`] at every thread count.
+pub struct ParRelalgEngine {
+    /// Maximum worker threads; 1 reproduces the sequential engine.
+    pub threads: usize,
+}
+
+impl ParRelalgEngine {
+    /// An engine using up to `threads` workers.
+    pub fn new(threads: usize) -> Self {
+        ParRelalgEngine {
+            threads: threads.max(1),
+        }
+    }
+}
+
+impl Default for ParRelalgEngine {
+    /// Uses every available hardware thread.
+    fn default() -> Self {
+        ParRelalgEngine::new(crate::pool::available_threads())
+    }
+}
+
+impl PpCountingEngine for ParRelalgEngine {
+    fn name(&self) -> &'static str {
+        "relalg-par"
+    }
+
+    fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
+        epq_relalg::count_pp_par(pp, b, self.threads)
+    }
+}
+
 /// The sequential engines, for cross-checking loops.
 pub fn all_engines() -> Vec<Box<dyn PpCountingEngine>> {
     vec![
@@ -161,6 +202,7 @@ pub fn all_engines_with_parallel(threads: usize) -> Vec<Box<dyn PpCountingEngine
     let mut engines = all_engines();
     engines.push(Box::new(ParFptEngine::new(threads)));
     engines.push(Box::new(ParBruteForceEngine::new(threads)));
+    engines.push(Box::new(ParRelalgEngine::new(threads)));
     engines
 }
 
@@ -231,6 +273,7 @@ mod tests {
             for threads in [1usize, 2, 4] {
                 assert_eq!(ParFptEngine::new(threads).count(&pp, &b), expected);
                 assert_eq!(ParBruteForceEngine::new(threads).count(&pp, &b), expected);
+                assert_eq!(ParRelalgEngine::new(threads).count(&pp, &b), expected);
             }
         }
     }
@@ -239,9 +282,11 @@ mod tests {
     fn parallel_engine_defaults_use_available_hardware() {
         assert!(ParFptEngine::default().threads >= 1);
         assert!(ParBruteForceEngine::default().threads >= 1);
+        assert!(ParRelalgEngine::default().threads >= 1);
         // A zero request is clamped to one worker.
         assert_eq!(ParFptEngine::new(0).threads, 1);
         assert_eq!(ParBruteForceEngine::new(0).threads, 1);
+        assert_eq!(ParRelalgEngine::new(0).threads, 1);
     }
 
     #[test]
@@ -250,7 +295,7 @@ mod tests {
             .iter()
             .map(|e| e.name())
             .collect();
-        assert_eq!(names.len(), 6);
+        assert_eq!(names.len(), 7);
         let mut deduped = names.clone();
         deduped.sort_unstable();
         deduped.dedup();

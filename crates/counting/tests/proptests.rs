@@ -174,7 +174,8 @@ fn engine_roster_is_stable() {
             "hom-dp",
             "fpt",
             "fpt-par",
-            "brute-par"
+            "brute-par",
+            "relalg-par"
         ]
     );
     assert_eq!(ParFptEngine::new(4).threads, 4);

@@ -46,7 +46,12 @@ fn scan_atom(pp: &PpFormula, b: &Structure, rel: epq_structures::RelId, atom: &[
 /// Joins all atoms of `pp` against `b` greedily (smallest relation first,
 /// preferring scans that share a column with what has been joined so far).
 /// Returns the joined relation and the plan taken.
-fn join_all(pp: &PpFormula, b: &Structure) -> (Relation, JoinPlan) {
+///
+/// Each join's outer (probe) relation is partitioned across up to
+/// `threads` pool workers; the greedy join *order* is chosen before any
+/// join runs, so the plan — and, via the sort+dedup normalization in
+/// [`Relation::new`], the result — is identical at every thread count.
+fn join_all(pp: &PpFormula, b: &Structure, threads: usize) -> (Relation, JoinPlan) {
     let mut plan = JoinPlan::default();
     let mut scans: Vec<(String, Relation)> = Vec::new();
     for (rel, name, _) in pp.signature().iter() {
@@ -69,7 +74,7 @@ fn join_all(pp: &PpFormula, b: &Structure) -> (Relation, JoinPlan) {
             .position(|(_, r)| r.schema().iter().any(|c| acc.schema().contains(c)))
             .unwrap_or(0);
         let (label, r) = scans.remove(idx);
-        acc = acc.join(&r);
+        acc = acc.join_par(&r, threads);
         plan.steps
             .push(format!("join {label} -> {} rows", acc.len()));
         if acc.is_empty() {
@@ -85,6 +90,13 @@ fn join_all(pp: &PpFormula, b: &Structure) -> (Relation, JoinPlan) {
 /// liberal variable contributes |B|, and every other component contributes
 /// its number of distinct projected join rows.
 pub fn count_pp(pp: &PpFormula, b: &Structure) -> Natural {
+    count_pp_par(pp, b, 1)
+}
+
+/// [`count_pp`] with every join's outer relation work-sharded across up
+/// to `threads` pool workers (see [`Relation::join_par`]). Counts are
+/// bit-identical to the sequential engine at every thread count.
+pub fn count_pp_par(pp: &PpFormula, b: &Structure, threads: usize) -> Natural {
     let mut total = Natural::one();
     for component in pp.components() {
         let n = component.structure().universe_size();
@@ -104,7 +116,7 @@ pub fn count_pp(pp: &PpFormula, b: &Structure) -> Natural {
                 }
             }
         } else {
-            let (joined, _) = join_all(&component, b);
+            let (joined, _) = join_all(&component, b, threads);
             if joined.is_empty() {
                 // An early-terminated empty join may have a partial
                 // schema; the count is zero either way.
@@ -129,6 +141,12 @@ pub fn count_pp(pp: &PpFormula, b: &Structure) -> Natural {
 /// are extended over the whole universe — this is where materialization
 /// pays the |B|^k price that pure counting avoids).
 pub fn answers_pp(pp: &PpFormula, b: &Structure) -> Relation {
+    answers_pp_par(pp, b, 1)
+}
+
+/// [`answers_pp`] with pool-parallel joins (bit-identical results; see
+/// [`count_pp_par`]).
+pub fn answers_pp_par(pp: &PpFormula, b: &Structure, threads: usize) -> Relation {
     let mut acc = Relation::unit();
     for component in pp.components() {
         let has_atoms = component.structure().tuple_count() > 0;
@@ -149,7 +167,7 @@ pub fn answers_pp(pp: &PpFormula, b: &Structure) -> Relation {
             }
             continue;
         }
-        let (joined, _) = join_all(&component, b);
+        let (joined, _) = join_all(&component, b, threads);
         if joined.is_empty() {
             // Empty join (possibly early-terminated with a partial
             // schema): the whole answer set is empty.
@@ -170,7 +188,7 @@ pub fn answers_pp(pp: &PpFormula, b: &Structure) -> Relation {
             })
             .collect();
         let renamed = Relation::new(parent_slots, projected.rows().to_vec());
-        acc = acc.join(&renamed);
+        acc = acc.join_par(&renamed, threads);
     }
     // Ensure the full liberal schema (in order).
     let full: Vec<u32> = (0..pp.liberal_count() as u32).collect();
@@ -181,9 +199,15 @@ pub fn answers_pp(pp: &PpFormula, b: &Structure) -> Relation {
 /// variable set, by materializing and unioning the disjunct answer sets
 /// (set semantics).
 pub fn count_ucq(disjuncts: &[PpFormula], b: &Structure) -> Natural {
+    count_ucq_par(disjuncts, b, 1)
+}
+
+/// [`count_ucq`] with pool-parallel joins inside each disjunct's
+/// materialization (bit-identical results; see [`count_pp_par`]).
+pub fn count_ucq_par(disjuncts: &[PpFormula], b: &Structure, threads: usize) -> Natural {
     let mut acc: Option<Relation> = None;
     for d in disjuncts {
-        let answers = answers_pp(d, b);
+        let answers = answers_pp_par(d, b, threads);
         acc = Some(match acc {
             None => answers,
             Some(u) => u.union(&answers),
@@ -197,7 +221,7 @@ pub fn count_ucq(disjuncts: &[PpFormula], b: &Structure) -> Natural {
 
 /// Produces the join plan for a pp-formula (for reports).
 pub fn explain_pp(pp: &PpFormula, b: &Structure) -> JoinPlan {
-    join_all(pp, b).1
+    join_all(pp, b, 1).1
 }
 
 #[cfg(test)]

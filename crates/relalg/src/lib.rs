@@ -21,9 +21,18 @@
 //! Columns are identified by *liberal slots* and pp-element indices (see
 //! [`epq_logic::PpFormula`]'s canonical layout), so disjuncts over the
 //! same liberal variable set align positionally.
+//!
+//! Every evaluation entry point has a `…_par` variant that partitions
+//! each join's outer relation across the shared `epq-pool` workers
+//! ([`Relation::join_par`]); results are **bit-identical** to the
+//! sequential paths at every thread count, because shard boundaries
+//! depend only on row indices and all partials funnel through the same
+//! sort+dedup normalization.
 
 pub mod engine;
 pub mod relation;
 
-pub use engine::{answers_pp, count_pp, count_ucq, JoinPlan};
+pub use engine::{
+    answers_pp, answers_pp_par, count_pp, count_pp_par, count_ucq, count_ucq_par, JoinPlan,
+};
 pub use relation::Relation;

@@ -3,6 +3,12 @@
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
+/// Minimum probe-side rows per shard of a parallel join:
+/// [`Relation::join_par`] caps its shard count so every shard keeps at
+/// least this many rows, and runs the sequential path when fewer than
+/// two such shards fit.
+const PAR_JOIN_MIN_PROBE_ROWS: usize = 256;
+
 /// A materialized relation: a schema of column identifiers (pp-formula
 /// element indices) and a deduplicated, sorted set of rows.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -66,6 +72,17 @@ impl Relation {
 
     /// Natural join on shared columns (hash join; the smaller side builds).
     pub fn join(&self, other: &Relation) -> Relation {
+        self.join_par(other, 1)
+    }
+
+    /// [`Relation::join`] with the probe (outer) side partitioned into
+    /// contiguous row-range shards across up to `threads` pool workers.
+    ///
+    /// Shard boundaries depend only on row indices, and every partial
+    /// result set funnels through the same sort+dedup normalization in
+    /// [`Relation::new`], so the output is **bit-identical** to the
+    /// sequential join at every thread count.
+    pub fn join_par(&self, other: &Relation, threads: usize) -> Relation {
         let (build, probe) = if self.len() <= other.len() {
             (self, other)
         } else {
@@ -98,17 +115,42 @@ impl Relation {
             let key: Vec<u32> = build_key.iter().map(|&i| row[i]).collect();
             table.entry(key).or_default().push(row);
         }
-        let mut rows = Vec::new();
-        for row in &probe.rows {
-            let key: Vec<u32> = probe_key.iter().map(|&i| row[i]).collect();
-            if let Some(matches) = table.get(&key) {
-                for b in matches {
-                    let mut out = (*b).clone();
-                    out.extend(probe_extra.iter().map(|&i| row[i]));
-                    rows.push(out);
+        let probe_shard = |range: std::ops::Range<usize>| -> Vec<Vec<u32>> {
+            let mut rows = Vec::new();
+            for row in &probe.rows[range] {
+                let key: Vec<u32> = probe_key.iter().map(|&i| row[i]).collect();
+                if let Some(matches) = table.get(&key) {
+                    for b in matches {
+                        let mut out = (*b).clone();
+                        out.extend(probe_extra.iter().map(|&i| row[i]));
+                        rows.push(out);
+                    }
                 }
             }
-        }
+            rows
+        };
+        // Small probe sides are not worth the pool hop, and shards
+        // below the minimum row count pay more in dispatch than they
+        // win in overlap — cap the shard count so every shard keeps at
+        // least PAR_JOIN_MIN_PROBE_ROWS rows.
+        let max_shards = probe.rows.len() / PAR_JOIN_MIN_PROBE_ROWS;
+        let rows = if threads <= 1 || max_shards < 2 {
+            probe_shard(0..probe.rows.len())
+        } else {
+            let shards = threads.saturating_mul(4).min(max_shards);
+            let jobs: Vec<_> = epq_pool::split_ranges(probe.rows.len() as u128, shards)
+                .into_iter()
+                .map(|(lo, hi)| {
+                    let probe_shard = &probe_shard;
+                    move || probe_shard(lo as usize..hi as usize)
+                })
+                .collect();
+            let mut rows = Vec::new();
+            for partial in epq_pool::run_jobs(threads, jobs) {
+                rows.extend(partial);
+            }
+            rows
+        };
         Relation::new(schema, rows)
     }
 
@@ -223,6 +265,25 @@ mod tests {
         let s = rel(&[1], &[&[7], &[8]]);
         let j = r.join(&s);
         assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn parallel_join_is_bit_identical() {
+        // Big enough to cross the sequential-fallback threshold.
+        let r = Relation::new(
+            vec![0, 1],
+            (0..2048u32).map(|i| vec![i % 97, i % 61]).collect(),
+        );
+        let s = Relation::new(
+            vec![1, 2],
+            (0..2048u32).map(|i| vec![i % 61, i % 7]).collect(),
+        );
+        let sequential = r.join(&s);
+        let swapped = s.join(&r);
+        for threads in [1usize, 2, 3, 8] {
+            assert_eq!(r.join_par(&s, threads), sequential, "threads = {threads}");
+            assert_eq!(s.join_par(&r, threads), swapped, "swapped, {threads}");
+        }
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Property tests for the relational-algebra engine: the join planner
+//! (sequential *and* pool-parallel) must agree with assignment-level
+//! brute force on random pp-formulas, random UCQs, and random
+//! structures.
+//!
+//! The brute-force reference is local to this suite (assignment
+//! enumeration through `PpFormula::satisfied_by`) so the test needs no
+//! dependency on `epq-counting` — which depends on this crate and
+//! would otherwise close a dev-dependency cycle.
+
+use epq_logic::query::infer_signature;
+use epq_logic::{dnf, Formula, PpFormula, Query, Var};
+use epq_relalg::{answers_pp, answers_pp_par, count_pp, count_pp_par, count_ucq, count_ucq_par};
+use epq_structures::{Signature, Structure};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Enumerates all liberal assignments, counting those that extend to a
+/// homomorphism — the ground truth `|φ(B)|`.
+fn brute_count_pp(pp: &PpFormula, b: &Structure) -> u64 {
+    brute_count(pp.liberal_count(), b, |values| pp.satisfied_by(b, values))
+}
+
+fn brute_count(slots: usize, b: &Structure, satisfied: impl Fn(&[u32]) -> bool) -> u64 {
+    let n = b.universe_size() as u32;
+    if slots == 0 {
+        return u64::from(satisfied(&[]));
+    }
+    if n == 0 {
+        return 0;
+    }
+    let mut values = vec![0u32; slots];
+    let mut count = 0u64;
+    loop {
+        if satisfied(&values) {
+            count += 1;
+        }
+        let mut i = 0;
+        loop {
+            if i == slots {
+                return count;
+            }
+            values[i] += 1;
+            if values[i] < n {
+                break;
+            }
+            values[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Builds a random conjunction of `E`-atoms over `vars` variables, with
+/// the variables selected by `qmask` existentially quantified.
+fn random_cq_formula(vars: usize, atoms: &[(u8, u8)], qmask: u8) -> Query {
+    let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
+    let parts: Vec<Formula> = atoms
+        .iter()
+        .map(|&(a, b)| {
+            Formula::atom(
+                "E",
+                &[
+                    names[a as usize % vars].as_str(),
+                    names[b as usize % vars].as_str(),
+                ],
+            )
+        })
+        .collect();
+    let matrix = Formula::conjunction(parts);
+    let quantified: Vec<&str> = (0..vars)
+        .filter(|i| qmask & (1 << i) != 0)
+        .map(|i| names[i].as_str())
+        .collect();
+    let liberal: Vec<Var> = (0..vars)
+        .filter(|i| qmask & (1 << i) == 0)
+        .map(|i| Var::new(&names[i]))
+        .collect();
+    let formula = if quantified.is_empty() {
+        matrix
+    } else {
+        Formula::exists(&quantified, matrix)
+    };
+    Query::new(formula, liberal).expect("valid random query")
+}
+
+fn digraph(seed: u64, n: usize, p: f64) -> Structure {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sig = Signature::from_symbols([("E", 2)]);
+    let mut s = Structure::new(sig, n);
+    for u in 0..n as u32 {
+        for v in 0..n as u32 {
+            if rng.gen_bool(p) {
+                s.add_tuple_named("E", &[u, v]);
+            }
+        }
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_agrees_with_brute_on_random_pp(
+        vars in 1usize..=4,
+        atoms in collection::vec((0u8..8, 0u8..8), 0..5),
+        qmask in 0u8..16,
+        n in 1usize..=4,
+        sseed in 0u64..10_000,
+    ) {
+        let query = random_cq_formula(vars, &atoms, qmask);
+        let sig = Signature::from_symbols([("E", 2)]);
+        let pp = PpFormula::from_query(&query, &sig).unwrap();
+        let b = digraph(sseed, n, 0.4);
+        let expected = brute_count_pp(&pp, &b);
+        prop_assert_eq!(count_pp(&pp, &b).to_u64(), Some(expected));
+        // The pool-parallel plan is bit-identical at every thread count.
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(
+                count_pp_par(&pp, &b, threads).to_u64(),
+                Some(expected),
+                "threads = {}", threads
+            );
+        }
+        // Materialization agrees with counting, sequentially and in
+        // parallel.
+        let answers = answers_pp(&pp, &b);
+        prop_assert_eq!(answers.len() as u64, expected);
+        for threads in [2usize, 4] {
+            prop_assert_eq!(&answers_pp_par(&pp, &b, threads), &answers);
+        }
+    }
+
+    #[test]
+    fn ucq_union_agrees_with_brute(
+        vars in 2usize..=3,
+        atoms1 in collection::vec((0u8..8, 0u8..8), 1..4),
+        atoms2 in collection::vec((0u8..8, 0u8..8), 1..4),
+        qmask in 0u8..4,
+        n in 1usize..=3,
+        sseed in 0u64..10_000,
+    ) {
+        // A two-disjunct UCQ over a shared liberal set.
+        let q1 = random_cq_formula(vars, &atoms1, qmask);
+        let q2 = random_cq_formula(vars, &atoms2, qmask);
+        let formula = Formula::Or(
+            Box::new(q1.formula().clone()),
+            Box::new(q2.formula().clone()),
+        );
+        let query = Query::new(formula, q1.liberal().to_vec()).unwrap();
+        let sig = infer_signature([query.formula()]).unwrap();
+        let ds = dnf::disjuncts(&query, &sig).unwrap();
+        let b = digraph(sseed, n, 0.45);
+        let expected = brute_count(query.liberal_count(), &b, |values| {
+            ds.iter().any(|d| d.satisfied_by(&b, values))
+        });
+        prop_assert_eq!(count_ucq(&ds, &b).to_u64(), Some(expected));
+        for threads in [2usize, 4] {
+            prop_assert_eq!(
+                count_ucq_par(&ds, &b, threads).to_u64(),
+                Some(expected),
+                "threads = {}", threads
+            );
+        }
+    }
+}

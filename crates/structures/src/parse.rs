@@ -129,6 +129,26 @@ impl<'a> Cursor<'a> {
 /// Parses a structure from the text format, inferring the signature.
 pub fn parse_structure(text: &str) -> Result<Structure, ParseError> {
     let mut c = Cursor::new(text);
+    let s = parse_one(&mut c)?;
+    if !c.at_end() {
+        return Err(c.error("trailing input after structure"));
+    }
+    Ok(s)
+}
+
+/// Parses one or more consecutive `structure { … }` blocks — the batch
+/// input format of `epq count --batch` (one count per block, order
+/// preserved). At least one block is required.
+pub fn parse_structures(text: &str) -> Result<Vec<Structure>, ParseError> {
+    let mut c = Cursor::new(text);
+    let mut out = vec![parse_one(&mut c)?];
+    while !c.at_end() {
+        out.push(parse_one(&mut c)?);
+    }
+    Ok(out)
+}
+
+fn parse_one(c: &mut Cursor) -> Result<Structure, ParseError> {
     c.eat("structure")?;
     c.eat("{")?;
     c.eat("universe")?;
@@ -174,9 +194,6 @@ pub fn parse_structure(text: &str) -> Result<Structure, ParseError> {
             declared_arity,
             tuples,
         });
-    }
-    if !c.at_end() {
-        return Err(c.error("trailing input after structure"));
     }
 
     // Build the signature.
@@ -287,5 +304,26 @@ mod tests {
     #[test]
     fn rejects_trailing_garbage() {
         assert!(parse_structure("structure { universe 1 } extra").is_err());
+        // A second block is trailing garbage for the single-structure
+        // entry point, but valid batch input.
+        let two = "structure { universe 1 E = { (0,0) } } structure { universe 2 E/2 = { } }";
+        assert!(parse_structure(two).is_err());
+        assert_eq!(parse_structures(two).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn batch_parsing_preserves_order_and_reports_errors() {
+        let batch = parse_structures(
+            "structure { universe 2 E = { (0,1) } }  # first
+             structure { universe 3 E = { (0,1), (1,2) } }
+             structure { universe 1 E/2 = { } }",
+        )
+        .unwrap();
+        assert_eq!(
+            batch.iter().map(|s| s.universe_size()).collect::<Vec<_>>(),
+            vec![2, 3, 1]
+        );
+        assert!(parse_structures("").is_err());
+        assert!(parse_structures("structure { universe 1 } junk").is_err());
     }
 }

@@ -72,6 +72,34 @@ pub fn random_structure<R: Rng>(
     s
 }
 
+/// A batch of independent random digraphs on a shared RNG stream —
+/// the batch-shaped workload for `epq_core::prepared::count_ep_batch`
+/// (one query prepared once, counted across the whole vector).
+pub fn random_digraph_batch<R: Rng>(rng: &mut R, count: usize, n: usize, p: f64) -> Vec<Structure> {
+    (0..count).map(|_| random_digraph(rng, n, p)).collect()
+}
+
+/// A batch of random structures over an arbitrary signature (see
+/// [`random_structure`] for the per-structure sampling).
+pub fn random_structure_batch<R: Rng>(
+    rng: &mut R,
+    count: usize,
+    signature: &Signature,
+    n: usize,
+    p: f64,
+    max_tuples: usize,
+) -> Vec<Structure> {
+    (0..count)
+        .map(|_| random_structure(rng, signature, n, p, max_tuples))
+        .collect()
+}
+
+/// A size-sweep batch: one random digraph per size in `sizes` (all from
+/// the same RNG stream), for batches whose members grow.
+pub fn random_digraph_size_sweep<R: Rng>(rng: &mut R, sizes: &[usize], p: f64) -> Vec<Structure> {
+    sizes.iter().map(|&n| random_digraph(rng, n, p)).collect()
+}
+
 /// The directed path structure `0 → 1 → … → n−1`.
 pub fn path_structure(n: usize) -> Structure {
     let mut s = Structure::new(digraph_signature(), n);
@@ -128,6 +156,27 @@ mod tests {
             .relation(sig.lookup("R").unwrap())
             .tuples()
             .all(|t| t.len() == 3));
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_sized() {
+        let a = random_digraph_batch(&mut StdRng::seed_from_u64(3), 5, 4, 0.3);
+        let b = random_digraph_batch(&mut StdRng::seed_from_u64(3), 5, 4, 0.3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        // Members are independent draws, not copies of one sample.
+        assert!(a.iter().any(|s| s != &a[0]));
+
+        let sig = Signature::from_symbols([("R", 2)]);
+        let batch = random_structure_batch(&mut StdRng::seed_from_u64(4), 3, &sig, 3, 0.5, 100);
+        assert_eq!(batch.len(), 3);
+        assert!(batch.iter().all(|s| s.signature() == &sig));
+
+        let sweep = random_digraph_size_sweep(&mut StdRng::seed_from_u64(5), &[2, 4, 6], 0.5);
+        assert_eq!(
+            sweep.iter().map(|s| s.universe_size()).collect::<Vec<_>>(),
+            vec![2, 4, 6]
+        );
     }
 
     #[test]

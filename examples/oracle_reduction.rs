@@ -73,7 +73,7 @@ fn main() {
     let dec = plus_decomposition(&query2, &sig2).unwrap();
     println!(
         "φ⁺ = {} free formulas + {} sentence disjunct(s)",
-        dec.minus_af.len(),
+        dec.minus_af().len(),
         dec.sentences.len()
     );
 

@@ -136,7 +136,7 @@ fn main() {
     println!("  θ*_af terms: {}", dec.star_af.len());
     println!(
         "  θ⁻_af (not entailing a sentence disjunct): {}",
-        dec.minus_af.len()
+        dec.minus_af().len()
     );
     println!("  θ⁺ = {{");
     for f in &dec.plus {

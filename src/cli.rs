@@ -7,19 +7,19 @@
 //! sink so the whole surface is unit-testable.
 
 use epq_core::classify::classify_query;
-use epq_core::count::count_ep;
 use epq_core::equivalence::{counting_equivalent, semi_counting_equivalent};
 use epq_core::iex::star;
 use epq_core::plus::plus_decomposition;
+use epq_core::prepared::PreparedQuery;
 use epq_counting::engines::{
-    BruteForceEngine, FptEngine, HomDpEngine, ParBruteForceEngine, ParFptEngine, PpCountingEngine,
-    RelalgEngine,
+    BruteForceEngine, FptEngine, HomDpEngine, ParBruteForceEngine, ParFptEngine, ParRelalgEngine,
+    PpCountingEngine, RelalgEngine,
 };
 use epq_logic::dnf;
 use epq_logic::parser::parse_query;
 use epq_logic::query::{check_against_signature, infer_signature};
 use epq_logic::{PpFormula, Query};
-use epq_structures::parse::parse_structure;
+use epq_structures::parse::{parse_structure, parse_structures};
 use epq_structures::{Signature, Structure};
 use std::io::Write;
 
@@ -28,7 +28,8 @@ pub const USAGE: &str = "\
 epq — counting answers to existential positive queries (Chen & Mengel, PODS 2016)
 
 USAGE:
-  epq count    --query <Q> (--data <FILE> | --data-inline <S>) [--engine <E>] [--threads <N>]
+  epq count    --query <Q> (--data <FILE> | --data-inline <S> | --batch <FILE>)
+               [--engine <E>] [--threads <N>]
   epq classify --query <Q>
   epq star     --query <Q>
   epq plus     --query <Q>
@@ -38,9 +39,14 @@ USAGE:
 
 QUERY SYNTAX:    (x, y) := E(x,y) | (exists u . E(x,u) & E(u,y))
 STRUCTURE SYNTAX: structure { universe 4  E = { (0,1), (1,2) } }
-ENGINES:         fpt (default) | brute-force | relalg | hom-dp | fpt-par | brute-par
+ENGINES:         fpt (default) | brute-force | relalg | hom-dp
+                 | fpt-par | brute-par | relalg-par
 THREADS:         --threads N caps the worker threads of the parallel engines
-                 (default: all available hardware threads)
+                 and of --batch fan-out (default: all hardware threads)
+BATCH:           --batch <FILE> reads one or more structure blocks; the query
+                 is prepared once and counted per block (one count per line).
+                 --threads caps the per-structure fan-out; each job's engine
+                 runs single-threaded
 ";
 
 /// Runs the CLI with `args` (excluding the program name), writing to
@@ -51,11 +57,16 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
         None | Some("help") | Some("--help") | Some("-h") => write!(out, "{USAGE}").map_err(io),
         Some("count") => {
             let query = required(args, "--query")?;
+            if let Some(path) = flag_value(args, "--batch") {
+                return count_batch(args, &query, &path, out);
+            }
             let b = load_structure(args)?;
             let engine = engine_from(args)?;
             let (q, sig) = prepare(&query, Some(&b))?;
-            let n = count_ep(&q, &sig, &b, engine.as_ref()).map_err(|e| e.to_string())?;
-            writeln!(out, "{n}").map_err(io)
+            let prepared = PreparedQuery::prepare(&q, &sig)
+                .map_err(|e| e.to_string())?
+                .with_engine(engine);
+            writeln!(out, "{}", prepared.count(&b)).map_err(io)
         }
         Some("classify") => {
             let query = required(args, "--query")?;
@@ -151,6 +162,39 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
     }
 }
 
+/// `epq count --batch <FILE>`: parse every structure block, prepare the
+/// query once, and fan the per-structure counts across the pool.
+fn count_batch(
+    args: &[String],
+    query_text: &str,
+    path: &str,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let structures = parse_structures(&text).map_err(|e| e.to_string())?;
+    let first = &structures[0];
+    for (i, s) in structures.iter().enumerate() {
+        if s.signature() != first.signature() {
+            return Err(format!(
+                "batch structures must share one signature; block {i} differs from block 0"
+            ));
+        }
+    }
+    // The batch fan-out already saturates the pool, so the per-job
+    // engine runs single-threaded — otherwise a parallel engine would
+    // multiply up to threads x threads OS threads.
+    let engine = engine_with_threads(args, 1)?;
+    let threads = threads_from(args)?;
+    let (q, sig) = prepare(query_text, Some(first))?;
+    let prepared = PreparedQuery::prepare(&q, &sig)
+        .map_err(|e| e.to_string())?
+        .with_engine(engine);
+    for n in prepared.count_batch(&structures, threads) {
+        writeln!(out, "{n}").map_err(|e| format!("I/O error: {e}"))?;
+    }
+    Ok(())
+}
+
 fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
         .position(|a| a == flag)
@@ -186,6 +230,25 @@ fn threads_from(args: &[String]) -> Result<usize, String> {
 
 fn engine_from(args: &[String]) -> Result<Box<dyn PpCountingEngine>, String> {
     let threads = threads_from(args)?;
+    engine_with_threads_cap(args, threads)
+}
+
+/// [`engine_from`] with an explicit worker cap for the parallel
+/// engines (the `--batch` path pins per-job engines to one thread).
+fn engine_with_threads(
+    args: &[String],
+    threads: usize,
+) -> Result<Box<dyn PpCountingEngine>, String> {
+    // Still validate a user-provided --threads value even though the
+    // engine itself is capped.
+    let _ = threads_from(args)?;
+    engine_with_threads_cap(args, threads)
+}
+
+fn engine_with_threads_cap(
+    args: &[String],
+    threads: usize,
+) -> Result<Box<dyn PpCountingEngine>, String> {
     match flag_value(args, "--engine").as_deref() {
         None | Some("fpt") => Ok(Box::new(FptEngine)),
         Some("brute-force") | Some("brute") => Ok(Box::new(BruteForceEngine)),
@@ -193,6 +256,7 @@ fn engine_from(args: &[String]) -> Result<Box<dyn PpCountingEngine>, String> {
         Some("hom-dp") => Ok(Box::new(HomDpEngine)),
         Some("fpt-par") => Ok(Box::new(ParFptEngine::new(threads))),
         Some("brute-par") => Ok(Box::new(ParBruteForceEngine::new(threads))),
+        Some("relalg-par") => Ok(Box::new(ParRelalgEngine::new(threads))),
         Some(other) => Err(format!("unknown engine {other:?}")),
     }
 }
@@ -269,6 +333,7 @@ mod tests {
             "hom-dp",
             "fpt-par",
             "brute-par",
+            "relalg-par",
         ] {
             let out = run_ok(&[
                 "count",
@@ -287,7 +352,7 @@ mod tests {
     fn parallel_engines_match_fpt_at_each_thread_count() {
         let query = "(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))";
         let expected = run_ok(&["count", "--query", query, "--data-inline", DATA]);
-        for engine in ["fpt-par", "brute-par"] {
+        for engine in ["fpt-par", "brute-par", "relalg-par"] {
             for threads in ["1", "2", "4"] {
                 let out = run_ok(&[
                     "count",
@@ -467,6 +532,65 @@ mod tests {
             path.to_str().unwrap(),
         ]);
         assert!(err.contains("parse error"), "got: {err}");
+    }
+
+    #[test]
+    fn count_batch_prints_one_count_per_block() {
+        let dir = std::env::temp_dir().join("epq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("batch.structures");
+        std::fs::write(
+            &path,
+            format!("{DATA}\nstructure {{ universe 2 E = {{ (0,1) }} }}\nstructure {{ universe 3 E/2 = {{ }} }}"),
+        )
+        .unwrap();
+        let query = "(w,x,y,z) := E(x,y) & (E(w,x) | (E(y,z) & E(z,z)))";
+        let out = run_ok(&["count", "--query", query, "--batch", path.to_str().unwrap()]);
+        assert_eq!(out.lines().collect::<Vec<_>>(), vec!["24", "0", "0"]);
+        // The batch fan-out is bit-identical at every thread count and
+        // engine choice.
+        for threads in ["1", "2", "4"] {
+            let par = run_ok(&[
+                "count",
+                "--query",
+                query,
+                "--batch",
+                path.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--engine",
+                "brute-force",
+            ]);
+            assert_eq!(par, out, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn count_batch_rejects_mixed_signatures_and_bad_files() {
+        let dir = std::env::temp_dir().join("epq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mixed.structures");
+        std::fs::write(
+            &path,
+            "structure { universe 2 E = { (0,1) } } structure { universe 2 F = { (0,1) } }",
+        )
+        .unwrap();
+        let err = run_err(&[
+            "count",
+            "--query",
+            "E(x,y)",
+            "--batch",
+            path.to_str().unwrap(),
+        ]);
+        assert!(err.contains("share one signature"), "got: {err}");
+        let err = run_err(&[
+            "count",
+            "--query",
+            "E(x,y)",
+            "--batch",
+            "/nonexistent/epq-batch.structures",
+        ]);
+        assert!(err.contains("cannot read"), "got: {err}");
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! |-------|----------|
 //! | [`bigint`] | exact naturals/integers/rationals + Vandermonde solver |
 //! | [`graph`] | graphs, treewidth (exact + heuristic), nice tree decompositions, cliques |
+//! | [`pool`] | std-only scoped work pool shared by every parallel layer |
 //! | [`structures`] | finite relational structures, homomorphisms, products, cores |
 //! | [`logic`] | ep/pp formulas, Chandra–Merlin view, DNF, contract graphs, parser |
 //! | [`relalg`] | select–project–join–union baseline engine |
@@ -38,6 +39,7 @@ pub use epq_core as core;
 pub use epq_counting as counting;
 pub use epq_graph as graph;
 pub use epq_logic as logic;
+pub use epq_pool as pool;
 pub use epq_relalg as relalg;
 pub use epq_structures as structures;
 pub use epq_workloads as workloads;
@@ -50,9 +52,10 @@ pub mod prelude {
     pub use epq_core::equivalence::{counting_equivalent, semi_counting_equivalent};
     pub use epq_core::iex::star;
     pub use epq_core::plus::plus_decomposition;
+    pub use epq_core::prepared::{classify_query_cached, count_ep_batch, PreparedQuery};
     pub use epq_counting::engines::{
         BruteForceEngine, FptEngine, HomDpEngine, ParBruteForceEngine, ParFptEngine,
-        PpCountingEngine, RelalgEngine,
+        ParRelalgEngine, PpCountingEngine, RelalgEngine,
     };
     pub use epq_logic::parser::parse_query;
     pub use epq_logic::query::infer_signature;

@@ -55,9 +55,32 @@ fn check_all_paths(query: &Query, b: &Structure) {
     let ds = dnf::disjuncts(query, &sig).unwrap();
     let via_relalg = epq::relalg::count_ucq(&ds, b);
     assert_eq!(via_relalg, expected, "relalg union\nquery: {query}\nB: {b}");
+    for threads in [2usize, 4] {
+        let via_relalg_par = epq::relalg::count_ucq_par(&ds, b, threads);
+        assert_eq!(
+            via_relalg_par, expected,
+            "pool-parallel relalg union at {threads} threads\nquery: {query}\nB: {b}"
+        );
+    }
 
     let via_disjuncts = brute::count_disjuncts_brute(&ds, b);
     assert_eq!(via_disjuncts, expected, "disjunct union\nquery: {query}");
+
+    // The prepared-query paths: single count and the pool batch.
+    let prepared = PreparedQuery::prepare(query, &sig).unwrap();
+    assert_eq!(
+        prepared.count(b),
+        expected,
+        "prepared query\nquery: {query}\nB: {b}"
+    );
+    let batch = [b.clone(), b.clone(), b.clone()];
+    for threads in [1usize, 3] {
+        let counts = prepared.count_batch(&batch, threads);
+        assert!(
+            counts.iter().all(|c| c == &expected),
+            "prepared batch at {threads} threads\nquery: {query}\nB: {b}"
+        );
+    }
 }
 
 proptest! {

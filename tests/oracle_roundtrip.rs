@@ -66,7 +66,7 @@ fn general_roundtrip_with_sentences_on_random_structures() {
     let sig = Signature::from_symbols([("E", 2), ("F", 2)]);
     let dec = plus_decomposition(&query, &sig).unwrap();
     assert_eq!(dec.sentences.len(), 1);
-    assert_eq!(dec.minus_af.len(), 2);
+    assert_eq!(dec.minus_af().len(), 2);
 
     for seed in 0..5u64 {
         let mut rng = StdRng::seed_from_u64(seed);

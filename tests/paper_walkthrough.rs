@@ -225,7 +225,7 @@ fn example_5_21_theta_plus() {
     let dec = plus_decomposition(&q, &sig).unwrap();
     // θ⁺ = {φ1, θ1}: one free 2-path and the sentence disjunct.
     assert_eq!(dec.plus.len(), 2);
-    assert_eq!(dec.minus_af.len(), 1);
+    assert_eq!(dec.minus_af().len(), 1);
     assert_eq!(dec.sentences.len(), 1);
     // And counting through the decomposition matches brute force.
     let b = example_c();
