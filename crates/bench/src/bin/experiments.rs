@@ -1,14 +1,16 @@
 //! Regenerates every table and series recorded in `EXPERIMENTS.md`
 //! (ids `T1`, `E1`–`E6`, `F1`–`F4`, `A1`–`A3`), plus the CI
 //! bench-smoke gates: `P1` (parallel engines vs sequential; writes
-//! `BENCH_engines.json`) and `P2` (prepared-query amortization and
-//! batched counting; writes `BENCH_prepared.json`). Both gates exit
-//! nonzero on any count disagreement.
+//! `BENCH_engines.json`), `P2` (prepared-query amortization and
+//! batched counting; writes `BENCH_prepared.json`), and `P3` (flat
+//! arena relations vs the seed nested-`Vec` layout; writes
+//! `BENCH_relalg.json`). All gates exit nonzero on any count
+//! disagreement.
 //!
 //! ```sh
-//! cargo run -p epq-bench --release --bin experiments            # all
-//! cargo run -p epq-bench --release --bin experiments -- T1 F2  # some
-//! cargo run -p epq-bench --release --bin experiments -- P1 P2  # CI gates
+//! cargo run -p epq-bench --release --bin experiments               # all
+//! cargo run -p epq-bench --release --bin experiments -- T1 F2     # some
+//! cargo run -p epq-bench --release --bin experiments -- P1 P2 P3  # CI gates
 //! ```
 
 use epq_bench::{json_escape, pp_of, row, rule, time_engine, time_us};
@@ -74,6 +76,9 @@ fn main() {
     }
     if want("P2") {
         p2_prepared_queries();
+    }
+    if want("P3") {
+        p3_relalg_layouts();
     }
     if want("A1") {
         a1_distinguisher_ablation();
@@ -518,6 +523,256 @@ fn p2_json(
             r.batch,
             r.threads,
             r.median_us,
+            r.agrees,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One measured configuration of the P3 layout comparison.
+struct P3Row {
+    family: &'static str,
+    op: &'static str,
+    n: usize,
+    layout: &'static str,
+    median_us: f64,
+    out_rows: usize,
+    agrees: bool,
+}
+
+/// P3 — the flat arena-backed `Relation` against the seed nested-`Vec`
+/// layout (`epq_bench::naive`), on identical inputs, per primitive:
+/// join-heavy (single joins at two cardinalities plus a three-way
+/// chain), projection, and union. The "naive" rows *are* the recorded
+/// seed medians — the baseline is the seed implementation, re-measured
+/// on the same machine in the same run, so the speedup column compares
+/// like with like.
+///
+/// Writes a machine-readable report to `BENCH_relalg.json` (override
+/// the path with `EPQ_BENCH_RELALG_JSON`); CI's `bench-smoke` job
+/// uploads it and gates on the recorded `join_speedup`. **Exits
+/// nonzero if any flat result disagrees with the seed layout's** —
+/// every measured operation doubles as a correctness check.
+fn p3_relalg_layouts() {
+    use epq_bench::naive::NaiveRelation;
+    use epq_bench::{p3_join_pair, p3_rows};
+    use epq_relalg::Relation;
+
+    println!("== P3: relational-algebra data layouts — flat arena vs seed nested-Vec ==");
+    let mut rows: Vec<P3Row> = Vec::new();
+    let widths = [10, 9, 8, 8, 12, 10, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "family".into(),
+                "op".into(),
+                "n".into(),
+                "layout".into(),
+                "median us".into(),
+                "out rows".into(),
+                "agree".into()
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+
+    /// Flat and naive results must be the same row set in the same
+    /// canonical order.
+    fn same_rows(flat: &Relation, naive: &NaiveRelation) -> bool {
+        flat.schema() == naive.schema()
+            && flat.len() == naive.len()
+            && flat
+                .rows()
+                .zip(naive.rows().iter())
+                .all(|(a, b)| a == b.as_slice())
+    }
+
+    let record = |family: &'static str,
+                  op: &'static str,
+                  n: usize,
+                  flat_out: &Relation,
+                  naive_out: &NaiveRelation,
+                  flat_us: f64,
+                  naive_us: f64,
+                  rows: &mut Vec<P3Row>| {
+        let agrees = same_rows(flat_out, naive_out);
+        for (layout, us, out_rows) in [
+            ("naive", naive_us, naive_out.len()),
+            ("flat", flat_us, flat_out.len()),
+        ] {
+            rows.push(P3Row {
+                family,
+                op,
+                n,
+                layout,
+                median_us: us,
+                out_rows,
+                agrees,
+            });
+            let r = rows.last().unwrap();
+            println!(
+                "{}",
+                row(
+                    &[
+                        r.family.into(),
+                        r.op.into(),
+                        r.n.to_string(),
+                        r.layout.into(),
+                        format!("{:.0}", r.median_us),
+                        r.out_rows.to_string(),
+                        r.agrees.to_string()
+                    ],
+                    &widths
+                )
+            );
+        }
+        println!("  -> {family}/{op} n={n}: {:.2}x", naive_us / flat_us);
+    };
+
+    // Join-heavy family: R(0,1) ⋈ S(1,2) at two cardinalities, plus a
+    // three-way chain — the shape every pp-formula evaluation takes.
+    let mut join_speedups: Vec<f64> = Vec::new();
+    for n in [2000usize, 8000] {
+        let ((rs, rr), (ss, sr)) = p3_join_pair(n);
+        let flat_r = Relation::new(rs.clone(), rr.clone());
+        let flat_s = Relation::new(ss.clone(), sr.clone());
+        let naive_r = NaiveRelation::new(rs, rr);
+        let naive_s = NaiveRelation::new(ss, sr);
+        let flat_out = flat_r.join(&flat_s);
+        let naive_out = naive_r.join(&naive_s);
+        let flat_us = time_us(5, || {
+            let _ = flat_r.join(&flat_s);
+        });
+        let naive_us = time_us(5, || {
+            let _ = naive_r.join(&naive_s);
+        });
+        join_speedups.push(naive_us / flat_us);
+        record(
+            "join-heavy",
+            "join2",
+            n,
+            &flat_out,
+            &naive_out,
+            flat_us,
+            naive_us,
+            &mut rows,
+        );
+    }
+    {
+        let n = 4000usize;
+        let ((rs, rr), (ss, sr)) = p3_join_pair(n);
+        let ts = vec![2u32, 3];
+        let tr = p3_rows(3000 + n as u64, n, &[61, 17]);
+        let flat_r = Relation::new(rs.clone(), rr.clone());
+        let flat_s = Relation::new(ss.clone(), sr.clone());
+        let flat_t = Relation::new(ts.clone(), tr.clone());
+        let naive_r = NaiveRelation::new(rs, rr);
+        let naive_s = NaiveRelation::new(ss, sr);
+        let naive_t = NaiveRelation::new(ts, tr);
+        let flat_out = flat_r.join(&flat_s).join(&flat_t);
+        let naive_out = naive_r.join(&naive_s).join(&naive_t);
+        let flat_us = time_us(5, || {
+            let _ = flat_r.join(&flat_s).join(&flat_t);
+        });
+        let naive_us = time_us(5, || {
+            let _ = naive_r.join(&naive_s).join(&naive_t);
+        });
+        join_speedups.push(naive_us / flat_us);
+        record(
+            "join-heavy",
+            "chain3",
+            n,
+            &flat_out,
+            &naive_out,
+            flat_us,
+            naive_us,
+            &mut rows,
+        );
+    }
+
+    // Projection: arity-4 rows down to a reordered pair.
+    for n in [8000usize, 32000] {
+        let schema = vec![0u32, 1, 2, 3];
+        let data = p3_rows(31 + n as u64, n, &[97, 89, 7, 5]);
+        let flat = Relation::new(schema.clone(), data.clone());
+        let naive = NaiveRelation::new(schema, data);
+        let flat_out = flat.project(&[3, 1]);
+        let naive_out = naive.project(&[3, 1]);
+        let flat_us = time_us(5, || {
+            let _ = flat.project(&[3, 1]);
+        });
+        let naive_us = time_us(5, || {
+            let _ = naive.project(&[3, 1]);
+        });
+        record(
+            "project", "project", n, &flat_out, &naive_out, flat_us, naive_us, &mut rows,
+        );
+    }
+
+    // Union: two same-schema sides (the UCQ disjunct accumulation).
+    for n in [8000usize, 32000] {
+        let schema = vec![0u32, 1];
+        let left = p3_rows(77 + n as u64, n, &[251, 127]);
+        let right = p3_rows(78 + n as u64, n, &[251, 127]);
+        let flat_l = Relation::new(schema.clone(), left.clone());
+        let flat_r = Relation::new(schema.clone(), right.clone());
+        let naive_l = NaiveRelation::new(schema.clone(), left);
+        let naive_r = NaiveRelation::new(schema, right);
+        let flat_out = flat_l.union(&flat_r);
+        let naive_out = naive_l.union(&naive_r);
+        let flat_us = time_us(5, || {
+            let _ = flat_l.union(&flat_r);
+        });
+        let naive_us = time_us(5, || {
+            let _ = naive_l.union(&naive_r);
+        });
+        record(
+            "union", "union", n, &flat_out, &naive_out, flat_us, naive_us, &mut rows,
+        );
+    }
+
+    // The gate statistic: the median speedup across the join-heavy
+    // family (what CI's threshold check reads).
+    join_speedups.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let join_speedup = join_speedups[join_speedups.len() / 2];
+    let disagreements = rows.iter().filter(|r| !r.agrees).count() / 2;
+    println!("  -> join-heavy median speedup (flat over seed layout): {join_speedup:.2}x");
+
+    let path =
+        std::env::var("EPQ_BENCH_RELALG_JSON").unwrap_or_else(|_| "BENCH_relalg.json".to_string());
+    let json = p3_json(&rows, disagreements, join_speedup);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  report written to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+    if disagreements > 0 {
+        eprintln!("P3 FAILED: {disagreements} flat result(s) disagree with the seed layout");
+        std::process::exit(1);
+    }
+    println!("  all flat results agree with the seed layout \u{2714}\n");
+}
+
+/// Renders the P3 report as JSON (by hand; the container has no serde).
+fn p3_json(rows: &[P3Row], disagreements: usize, join_speedup: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"P3\",\n");
+    out.push_str(&format!("  \"disagreements\": {disagreements},\n"));
+    out.push_str(&format!("  \"join_speedup\": {join_speedup:.2},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"op\": \"{}\", \"n\": {}, \"layout\": \"{}\", \
+             \"median_us\": {:.1}, \"out_rows\": {}, \"agrees\": {}}}{}\n",
+            json_escape(r.family),
+            json_escape(r.op),
+            r.n,
+            json_escape(r.layout),
+            r.median_us,
+            r.out_rows,
             r.agrees,
             if i + 1 == rows.len() { "" } else { "," }
         ));

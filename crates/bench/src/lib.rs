@@ -14,10 +14,14 @@
 //! This library holds the shared workload builders and measurement
 //! helpers used by both.
 
+pub mod naive;
+
 use epq_counting::engines::PpCountingEngine;
 use epq_logic::query::infer_signature;
 use epq_logic::{PpFormula, Query};
 use epq_structures::Structure;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
 /// Builds the pp view of a query against its inferred signature.
@@ -52,6 +56,30 @@ pub fn time_engine(
         let _ = engine.count(pp, b);
     });
     (count.to_string(), us)
+}
+
+/// Deterministic random rows for the `P3` layout comparison: `n` rows,
+/// column `c` drawn uniformly from `0..vals[c]`. Both layouts (the
+/// flat arena and the [`naive`] seed baseline) are built from one call's
+/// output, so they measure and agree on identical inputs.
+pub fn p3_rows(seed: u64, n: usize, vals: &[u32]) -> Vec<Vec<u32>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| vals.iter().map(|&v| rng.gen_range(0..v.max(1))).collect())
+        .collect()
+}
+
+/// The `P3` join-heavy pair: `R(0,1) ⋈ S(1,2)` with `n` rows per side
+/// and a shared-column domain of 211 values, so the expected output is
+/// about `n²/211` rows — enough matches that the join inner loop, not
+/// the scan, dominates.
+#[allow(clippy::type_complexity)]
+pub fn p3_join_pair(n: usize) -> ((Vec<u32>, Vec<Vec<u32>>), (Vec<u32>, Vec<Vec<u32>>)) {
+    let wide = (n as u32 / 4).max(1);
+    (
+        (vec![0, 1], p3_rows(1000 + n as u64, n, &[wide, 211])),
+        (vec![1, 2], p3_rows(2000 + n as u64, n, &[211, 61])),
+    )
 }
 
 /// Escapes a string for inclusion in a JSON string literal (quotes,

@@ -16,22 +16,32 @@
 //! every constraint that fits in the bag and mentions the new variable,
 //! forget nodes sum out, join nodes multiply matching entries.
 //!
+//! # Data layout
+//!
+//! The DP tables are [`FlatTable`]s — a packed row-major key arena plus
+//! an aligned `Natural` column (see [`crate::table`]) — instead of
+//! `BTreeMap<Vec<u32>, Natural>`: no per-entry node allocation, no
+//! per-key `Vec`, and each pass is a linear scan over contiguous
+//! memory.
+//!
 //! # Determinism
 //!
-//! The DP tables are `BTreeMap`s keyed by bag assignments, so every
-//! traversal order in this module is a sorted order — nothing iterates a
-//! `HashMap`/`HashSet` whose order could differ between runs. (The only
-//! hash collections left are the `allowed` sets of [`CspConstraint`],
-//! used purely for membership tests.) This matters for the parallel
-//! entry point [`TdCounter::count_par`]: its shard boundaries are
-//! contiguous chunks of the sorted child tables, so they are identical
-//! run to run and the parallel counts are reproducible across runs and
-//! thread counts.
+//! The flat tables keep their entries sorted by bag assignment, so
+//! every traversal order in this module is a sorted order — nothing
+//! iterates a `HashMap`/`HashSet` whose order could differ between runs.
+//! (The only hash collections left are the `allowed` sets of
+//! [`CspConstraint`], used purely for membership tests.) This matters
+//! for the parallel entry point [`TdCounter::count_par`]: its shard
+//! boundaries are contiguous chunks of the sorted tables, so they are
+//! identical run to run and the parallel counts are reproducible across
+//! runs and thread counts.
 
+use crate::table::FlatTable;
+pub use crate::table::PAR_NODE_THRESHOLD;
 use epq_bigint::Natural;
 use epq_graph::{treewidth, Graph, NiceNode, NiceTreeDecomposition};
 use epq_structures::Structure;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 
 /// One constraint: an ordered scope of distinct variables and the set of
 /// allowed value tuples.
@@ -124,16 +134,16 @@ impl TdCounter {
     /// DP across up to `threads` threads.
     ///
     /// Parallelism is *within* each node of the tree-decomposition DP:
-    /// a node's table is built by splitting its child table into
+    /// a node's table is built by splitting its source table into
     /// contiguous sorted-order chunks, one partial table per worker,
-    /// merged afterwards (disjoint union at introduce/join nodes —
-    /// the key maps are injective — and entry-wise `Natural` sums at
-    /// forget nodes). Total work is therefore exactly the sequential
-    /// DP's, chunk boundaries are deterministic, and the merged sums
-    /// are order-insensitive, so the result equals [`TdCounter::count`]
-    /// bit for bit at every thread count. Nodes whose tables are below
-    /// [`PAR_NODE_THRESHOLD`] run inline — small tables are not worth
-    /// a scope spawn.
+    /// merged afterwards (disjoint sorted unions at introduce/join
+    /// nodes — the key maps are injective — and summed `Natural`
+    /// entries at forget nodes; see [`crate::table`]). Total work is
+    /// therefore exactly the sequential DP's, chunk boundaries are
+    /// deterministic, and the merged sums are order-insensitive, so the
+    /// result equals [`TdCounter::count`] bit for bit at every thread
+    /// count. Nodes whose tables are below [`PAR_NODE_THRESHOLD`] run
+    /// inline — small tables are not worth a scope spawn.
     pub fn count_par(&self, pins: &[(u32, u32)], threads: usize) -> Natural {
         self.count_with_threads(pins, threads.max(1))
     }
@@ -150,165 +160,79 @@ impl TdCounter {
             }
             pinned[v as usize] = Some(x);
         }
-        // tables[node]: bag assignment (sorted-bag order) → extension count.
-        let mut tables: Vec<Table> = Vec::with_capacity(self.nice.len());
+        // tables[node]: bag assignment (sorted-bag order) → extension
+        // count, as a packed-key flat table.
+        let mut tables: Vec<FlatTable> = Vec::with_capacity(self.nice.len());
         for (node_index, node) in self.nice.nodes().iter().enumerate() {
             let table = match node {
-                NiceNode::Leaf => {
-                    let mut t = Table::new();
-                    t.insert(Vec::new(), Natural::one());
-                    t
-                }
+                NiceNode::Leaf => FlatTable::unit(),
                 NiceNode::Introduce { vertex, child } => {
                     self.introduce_table(node_index, *vertex, &tables[*child], &pinned, threads)
                 }
                 NiceNode::Forget { vertex, child } => {
-                    let child_bag: Vec<u32> = self.nice.bag(*child).iter().copied().collect();
-                    let slot = child_bag.iter().position(|v| v == vertex).unwrap();
-                    let build = |entries: &mut dyn Iterator<Item = Entry<'_>>| {
-                        let mut t = Table::new();
-                        for (child_key, count) in entries {
-                            let mut key = child_key.clone();
-                            key.remove(slot);
-                            *t.entry(key).or_insert_with(Natural::zero) += count;
-                        }
-                        t
-                    };
-                    // Distinct child keys may forget to the same key, so
-                    // partial tables merge by entry-wise sum.
-                    sharded_table(&tables[*child], threads, &build, |t, partial| {
-                        for (key, count) in partial {
-                            *t.entry(key).or_insert_with(Natural::zero) += &count;
-                        }
-                    })
+                    let slot = self
+                        .nice
+                        .bag(*child)
+                        .iter()
+                        .position(|v| v == vertex)
+                        .unwrap();
+                    tables[*child].forget(slot, threads)
                 }
-                NiceNode::Join { left, right } => {
-                    let (small, large) = if tables[*left].len() <= tables[*right].len() {
-                        (&tables[*left], &tables[*right])
-                    } else {
-                        (&tables[*right], &tables[*left])
-                    };
-                    let build = |entries: &mut dyn Iterator<Item = Entry<'_>>| {
-                        let mut t = Table::new();
-                        for (key, count) in entries {
-                            if let Some(other) = large.get(key) {
-                                t.insert(key.clone(), count * other);
-                            }
-                        }
-                        t
-                    };
-                    // Each small-table key appears in exactly one chunk:
-                    // partials are disjoint.
-                    sharded_table(small, threads, &build, Table::extend)
-                }
+                NiceNode::Join { left, right } => tables[*left].join(&tables[*right], threads),
             };
             tables.push(table);
         }
-        tables[self.nice.root()]
-            .get(&Vec::new() as &Vec<u32>)
-            .cloned()
-            .unwrap_or_else(Natural::zero)
+        let root = self.nice.root();
+        std::mem::replace(&mut tables[root], FlatTable::new(0)).root_count()
     }
 
     fn introduce_table(
         &self,
         node_index: usize,
         vertex: u32,
-        child_table: &Table,
+        child_table: &FlatTable,
         pinned: &[Option<u32>],
         threads: usize,
-    ) -> Table {
+    ) -> FlatTable {
         let bag: Vec<u32> = self.nice.bag(node_index).iter().copied().collect();
         let slot = bag.iter().position(|&v| v == vertex).unwrap();
         let candidates: Vec<u32> = match pinned[vertex as usize] {
             Some(x) => vec![x],
             None => (0..self.domain as u32).collect(),
         };
-        let build = |entries: &mut dyn Iterator<Item = Entry<'_>>| {
-            let mut t = Table::new();
-            let mut scratch = Vec::new();
-            for (child_key, count) in entries {
-                for &x in &candidates {
-                    let mut key = child_key.clone();
-                    key.insert(slot, x);
-                    let ok = self.checks[node_index].iter().all(|&ci| {
-                        let c = &self.constraints[ci];
-                        scratch.clear();
-                        scratch.extend(c.scope.iter().map(|v| {
-                            let pos = bag.iter().position(|b| b == v).unwrap();
-                            key[pos]
-                        }));
-                        c.allowed.contains(&scratch)
-                    });
-                    if ok {
-                        *t.entry(key).or_insert_with(Natural::zero) += count;
+        // Per placed constraint, the bag positions of its scope — the
+        // key-to-tuple gather is precomputed once per node, not once
+        // per (entry × candidate × scope variable).
+        let gathers: Vec<(&CspConstraint, Vec<usize>)> = self.checks[node_index]
+            .iter()
+            .map(|&ci| {
+                let c = &self.constraints[ci];
+                let positions = c
+                    .scope
+                    .iter()
+                    .map(|v| bag.iter().position(|b| b == v).unwrap())
+                    .collect();
+                (c, positions)
+            })
+            .collect();
+        let keep = |key: &[u32]| {
+            gathers.iter().all(|(c, positions)| {
+                // Scopes fit a stack buffer (they are bag-sized); the
+                // heap fallback is for pathological arities only.
+                let mut buf = [0u32; 16];
+                if positions.len() <= buf.len() {
+                    for (dst, &p) in buf[..positions.len()].iter_mut().zip(positions) {
+                        *dst = key[p];
                     }
+                    c.allowed.contains(&buf[..positions.len()])
+                } else {
+                    let tuple: Vec<u32> = positions.iter().map(|&p| key[p]).collect();
+                    c.allowed.contains(tuple.as_slice())
                 }
-            }
-            t
+            })
         };
-        // (child_key, x) ↦ key is injective (remove the slot to invert),
-        // so chunk partials are disjoint and merge by plain union. The
-        // per-candidate fan-out counts toward the sharding threshold.
-        let weight = candidates.len().max(1);
-        sharded_table_weighted(child_table, threads, weight, &build, Table::extend)
+        child_table.introduce(slot, &candidates, keep, threads)
     }
-}
-
-/// A DP table: bag assignment (in sorted-bag order) → extension count.
-type Table = BTreeMap<Vec<u32>, Natural>;
-
-/// One borrowed table entry, as the build closures consume it.
-type Entry<'a> = (&'a Vec<u32>, &'a Natural);
-
-/// Nodes whose per-table work (child entries × introduce fan-out) is
-/// below this run inline even under [`TdCounter::count_par`]; a scoped
-/// spawn costs more than rebuilding a small table.
-pub const PAR_NODE_THRESHOLD: usize = 2048;
-
-/// Builds a node table from `source` via `build`, splitting the source
-/// entries into contiguous sorted-order chunks across `threads` workers
-/// and combining the partial tables with `merge` (in chunk order). The
-/// sequential path (one thread, or a table below the threshold) streams
-/// straight off the `BTreeMap` with no intermediate allocation.
-fn sharded_table<'a, B, M>(source: &'a Table, threads: usize, build: &B, merge: M) -> Table
-where
-    B: Fn(&mut dyn Iterator<Item = Entry<'a>>) -> Table + Sync,
-    M: Fn(&mut Table, Table),
-{
-    sharded_table_weighted(source, threads, 1, build, merge)
-}
-
-/// [`sharded_table`] with a per-entry work multiplier (the introduce
-/// node's candidate fan-out) counted toward the parallelism threshold.
-fn sharded_table_weighted<'a, B, M>(
-    source: &'a Table,
-    threads: usize,
-    weight: usize,
-    build: &B,
-    merge: M,
-) -> Table
-where
-    B: Fn(&mut dyn Iterator<Item = Entry<'a>>) -> Table + Sync,
-    M: Fn(&mut Table, Table),
-{
-    if threads <= 1 || source.len().saturating_mul(weight) < PAR_NODE_THRESHOLD {
-        return build(&mut source.iter());
-    }
-    let entries: Vec<Entry<'a>> = source.iter().collect();
-    let ranges = crate::pool::split_ranges(entries.len() as u128, threads.saturating_mul(2));
-    let entries = &entries;
-    let jobs: Vec<_> = ranges
-        .into_iter()
-        .map(|(start, end)| {
-            move || build(&mut entries[start as usize..end as usize].iter().copied())
-        })
-        .collect();
-    let mut table = Table::new();
-    for partial in crate::pool::run_jobs(threads, jobs) {
-        merge(&mut table, partial);
-    }
-    table
 }
 
 /// Brute-force CSP counting (test oracle).

@@ -25,6 +25,8 @@
 //!   `fpt-par` / `brute-par`) for the cross-checking tests and benchmarks;
 //! * [`pool`] — the minimal scoped thread pool (std-only; the build
 //!   container is offline) backing the parallel engines;
+//! * [`table`] — the packed-key flat DP tables (row-major key arena +
+//!   `Natural` column) the tree-decomposition DP runs on;
 //! * [`clique`] — the clique ⇄ query encodings anchoring the hardness side
 //!   (cases (2) and (3) of the trichotomy);
 //! * [`decision`] — answer existence / model checking (the 1-or-0
@@ -37,9 +39,11 @@ pub mod decision;
 pub mod engines;
 pub mod fpt;
 pub mod pool;
+pub mod table;
 
 pub use csp::{CspConstraint, TdCounter};
 pub use engines::{
     BruteForceEngine, FptEngine, HomDpEngine, ParBruteForceEngine, ParFptEngine, PpCountingEngine,
     RelalgEngine,
 };
+pub use table::FlatTable;

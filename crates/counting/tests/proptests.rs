@@ -9,22 +9,68 @@
 //! count, so agreement here checks that no assignment is dropped or
 //! double-counted at any boundary.
 
+use epq_bigint::Natural;
 use epq_counting::brute::{
     count_pp_brute, count_pp_brute_par, for_each_assignment, for_each_assignment_in_range,
 };
 use epq_counting::csp::{count_csp_brute, CspConstraint, TdCounter};
 use epq_counting::engines::{all_engines_with_parallel, ParBruteForceEngine, ParFptEngine};
 use epq_counting::fpt::{count_pp_fpt, count_pp_fpt_par};
+use epq_counting::table::FlatTable;
 use epq_logic::PpFormula;
 use epq_workloads::{data, queries};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 
 fn random_pp(seed: u64, vars: usize, atoms: usize, quantify: f64) -> PpFormula {
     let q = queries::random_cq(&mut StdRng::seed_from_u64(seed), vars, atoms, quantify);
     PpFormula::from_query(&q, &data::digraph_signature()).unwrap()
+}
+
+/// A random DP table plus the `BTreeMap` the seed implementation kept:
+/// duplicate random keys merge by summation in both.
+fn random_table(
+    seed: u64,
+    arity: usize,
+    entries: usize,
+    domain: u32,
+) -> (FlatTable, BTreeMap<Vec<u32>, Natural>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let raw: Vec<(Vec<u32>, Natural)> = (0..entries)
+        .map(|_| {
+            let key: Vec<u32> = (0..arity).map(|_| rng.gen_range(0..domain)).collect();
+            (key, Natural::from(rng.gen_range(1..6u64)))
+        })
+        .collect();
+    let mut model: BTreeMap<Vec<u32>, Natural> = BTreeMap::new();
+    for (key, count) in &raw {
+        *model.entry(key.clone()).or_insert_with(Natural::zero) += count;
+    }
+    (FlatTable::from_entries(arity, raw), model)
+}
+
+/// The packed table and the map reference must agree entry for entry,
+/// in the same (sorted) order.
+fn assert_table_is(
+    got: &FlatTable,
+    expected: &BTreeMap<Vec<u32>, Natural>,
+    pass: &str,
+    threads: usize,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        got.len(),
+        expected.len(),
+        "{} size at {} threads",
+        pass,
+        threads
+    );
+    for ((key, count), (ekey, ecount)) in got.iter().zip(expected.iter()) {
+        prop_assert_eq!(key, &ekey[..], "{} key at {} threads", pass, threads);
+        prop_assert_eq!(count, ecount, "{} count at {} threads", pass, threads);
+    }
+    Ok(())
 }
 
 proptest! {
@@ -132,6 +178,69 @@ proptest! {
     }
 
     #[test]
+    fn flat_table_passes_match_btreemap_reference(
+        seed in 0u64..10_000,
+        arity in 0usize..=3,
+        entries in 0usize..40,
+        domain in 1u32..=4,
+        slot_pick in 0usize..16,
+        modulus in 1u32..=4,
+    ) {
+        // A random nice-decomposition node: a child table of `arity`-wide
+        // bag assignments, put through each of the three DP passes, on
+        // the packed-key arena and on the `BTreeMap` the seed DP used —
+        // at 1, 2, and 4 threads.
+        let (table, model) = random_table(seed, arity, entries, domain);
+
+        // Introduce at a random slot over the full candidate range, with
+        // a nontrivial filter.
+        let slot = slot_pick % (arity + 1);
+        let candidates: Vec<u32> = (0..domain).collect();
+        let keep = |key: &[u32]| key.iter().sum::<u32>() % modulus != 0;
+        let mut expected: BTreeMap<Vec<u32>, Natural> = BTreeMap::new();
+        for (key, count) in &model {
+            for &x in &candidates {
+                let mut grown = key.clone();
+                grown.insert(slot, x);
+                if keep(&grown) {
+                    *expected.entry(grown).or_insert_with(Natural::zero) += count;
+                }
+            }
+        }
+        for threads in [1usize, 2, 4] {
+            let got = table.introduce(slot, &candidates, keep, threads);
+            assert_table_is(&got, &expected, "introduce", threads)?;
+        }
+
+        // Forget each slot in turn (arity permitting).
+        for slot in 0..arity {
+            let mut expected: BTreeMap<Vec<u32>, Natural> = BTreeMap::new();
+            for (key, count) in &model {
+                let mut shrunk = key.clone();
+                shrunk.remove(slot);
+                *expected.entry(shrunk).or_insert_with(Natural::zero) += count;
+            }
+            for threads in [1usize, 2, 4] {
+                let got = table.forget(slot, threads);
+                assert_table_is(&got, &expected, "forget", threads)?;
+            }
+        }
+
+        // Join against a second random table of the same arity.
+        let (other, other_model) = random_table(seed ^ 0xbead, arity, entries / 2 + 1, domain);
+        let mut expected: BTreeMap<Vec<u32>, Natural> = BTreeMap::new();
+        for (key, count) in &model {
+            if let Some(factor) = other_model.get(key) {
+                expected.insert(key.clone(), count * factor);
+            }
+        }
+        for threads in [1usize, 2, 4] {
+            let got = table.join(&other, threads);
+            assert_table_is(&got, &expected, "join", threads)?;
+        }
+    }
+
+    #[test]
     fn range_sharding_partitions_the_assignment_space(
         domain in 1usize..5,
         arity in 0usize..5,
@@ -157,6 +266,68 @@ proptest! {
         let mut full = Vec::new();
         for_each_assignment(domain, arity, &mut |v| full.push(v.to_vec()));
         prop_assert_eq!(replayed, full);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_flat_table_passes_cross_the_pool_threshold(
+        seed in 0u64..10_000,
+        slot_pick in 0usize..16,
+        modulus in 2u32..=4,
+    ) {
+        // Tables above PAR_NODE_THRESHOLD: the 2/4-thread runs really
+        // shard across the pool and the chunk merges really execute.
+        let arity = 2usize;
+        let domain = 64u32;
+        let (table, model) = random_table(seed, arity, 4096, domain);
+        prop_assert!(table.len() >= epq_counting::csp::PAR_NODE_THRESHOLD);
+
+        let slot = slot_pick % (arity + 1);
+        let candidates: Vec<u32> = (0..4).collect();
+        let keep = |key: &[u32]| key.iter().sum::<u32>() % modulus != 0;
+        let mut expected: BTreeMap<Vec<u32>, Natural> = BTreeMap::new();
+        for (key, count) in &model {
+            for &x in &candidates {
+                let mut grown = key.clone();
+                grown.insert(slot, x);
+                if keep(&grown) {
+                    *expected.entry(grown).or_insert_with(Natural::zero) += count;
+                }
+            }
+        }
+        for threads in [1usize, 2, 4] {
+            assert_table_is(
+                &table.introduce(slot, &candidates, keep, threads),
+                &expected,
+                "introduce",
+                threads,
+            )?;
+        }
+
+        let slot = slot_pick % arity;
+        let mut expected: BTreeMap<Vec<u32>, Natural> = BTreeMap::new();
+        for (key, count) in &model {
+            let mut shrunk = key.clone();
+            shrunk.remove(slot);
+            *expected.entry(shrunk).or_insert_with(Natural::zero) += count;
+        }
+        for threads in [1usize, 2, 4] {
+            assert_table_is(&table.forget(slot, threads), &expected, "forget", threads)?;
+        }
+
+        let (other, other_model) = random_table(seed ^ 0xbead, arity, 4096, domain);
+        let mut expected: BTreeMap<Vec<u32>, Natural> = BTreeMap::new();
+        for (key, count) in &model {
+            if let Some(factor) = other_model.get(key) {
+                expected.insert(key.clone(), count * factor);
+            }
+        }
+        for threads in [1usize, 2, 4] {
+            assert_table_is(&table.join(&other, threads), &expected, "join", threads)?;
+        }
     }
 }
 

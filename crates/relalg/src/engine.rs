@@ -28,7 +28,10 @@ fn scan_atom(pp: &PpFormula, b: &Structure, rel: epq_structures::RelId, atom: &[
         .iter()
         .map(|c| atom.iter().position(|e| e == c).unwrap())
         .collect();
-    let mut rows = Vec::new();
+    // Matching tuples stream straight into the relation's flat arena —
+    // no per-row Vec.
+    let mut data: Vec<u32> = Vec::new();
+    let mut matched = false;
     'tuple: for t in b.relation(rel).tuples() {
         // Check the repeated-element pattern.
         for (i, &e) in atom.iter().enumerate() {
@@ -37,10 +40,19 @@ fn scan_atom(pp: &PpFormula, b: &Structure, rel: epq_structures::RelId, atom: &[
                 continue 'tuple;
             }
         }
-        rows.push(positions.iter().map(|&i| t[i]).collect());
+        data.extend(positions.iter().map(|&i| t[i]));
+        matched = true;
     }
     let _ = pp;
-    Relation::new(schema, rows)
+    if schema.is_empty() {
+        // A nullary atom is a presence test.
+        return if matched {
+            Relation::unit()
+        } else {
+            Relation::empty()
+        };
+    }
+    Relation::from_flat(schema, data)
 }
 
 /// Joins all atoms of `pp` against `b` greedily (smallest relation first,
@@ -187,7 +199,7 @@ pub fn answers_pp_par(pp: &PpFormula, b: &Structure, threads: usize) -> Relation
                 pp.liberal_names().iter().position(|v| v == name).unwrap() as u32
             })
             .collect();
-        let renamed = Relation::new(parent_slots, projected.rows().to_vec());
+        let renamed = projected.renamed(parent_slots);
         acc = acc.join_par(&renamed, threads);
     }
     // Ensure the full liberal schema (in order).

@@ -28,6 +28,13 @@
 //! sequential paths at every thread count, because shard boundaries
 //! depend only on row indices and all partials funnel through the same
 //! sort+dedup normalization.
+//!
+//! [`Relation`] stores its rows in a **flat row-major arena** (one
+//! `Vec<u32>` plus an arity stride) rather than a `Vec<Vec<u32>>`: one
+//! allocation per relation instead of one per row, rows iterated as
+//! `&[u32]` slices, and hash-join keys packed into `u64`/`u128`
+//! integers instead of per-row key `Vec`s — see the [`relation`] module
+//! docs for the layout and the `P3` benchmark for the measured payoff.
 
 pub mod engine;
 pub mod relation;
@@ -35,4 +42,4 @@ pub mod relation;
 pub use engine::{
     answers_pp, answers_pp_par, count_pp, count_pp_par, count_ucq, count_ucq_par, JoinPlan,
 };
-pub use relation::Relation;
+pub use relation::{Relation, Rows};

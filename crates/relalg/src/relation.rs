@@ -1,6 +1,28 @@
-//! In-memory relations with variable schemas and set semantics.
+//! In-memory relations with variable schemas and set semantics, stored
+//! in a flat row-major arena.
+//!
+//! # Data layout
+//!
+//! A [`Relation`] is one contiguous `Vec<u32>` holding every row
+//! back-to-back (`data[i * arity .. (i + 1) * arity]` is row `i`), plus
+//! an explicit row count so nullary relations can still distinguish
+//! "one empty row" (the join identity) from "no rows". Compared to the
+//! obvious `Vec<Vec<u32>>`, this layout:
+//!
+//! * costs **one allocation per relation** instead of one per row;
+//! * iterates rows as `&[u32]` slices with perfect cache locality;
+//! * lets the hash join key on **packed integers** (`u64` for up to two
+//!   shared columns, `u128` for up to four) instead of allocating a key
+//!   `Vec` per build/probe row.
+//!
+//! The canonical form — rows sorted lexicographically and deduplicated —
+//! is unchanged from the nested-`Vec` layout, so every operation here is
+//! bit-identical in output to its predecessor, and the parallel join's
+//! determinism argument (shard boundaries depend only on row indices;
+//! all partials funnel through the same sort+dedup normalization) is
+//! untouched.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 
 /// Minimum probe-side rows per shard of a parallel join:
@@ -10,35 +32,88 @@ use std::fmt;
 const PAR_JOIN_MIN_PROBE_ROWS: usize = 256;
 
 /// A materialized relation: a schema of column identifiers (pp-formula
-/// element indices) and a deduplicated, sorted set of rows.
+/// element indices) and a deduplicated, sorted set of rows in a flat
+/// row-major arena.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Relation {
     schema: Vec<u32>,
-    rows: Vec<Vec<u32>>,
+    /// Number of rows (explicit: nullary relations have no data).
+    len: usize,
+    /// Row-major arena, `len * schema.len()` values.
+    data: Vec<u32>,
 }
 
 impl Relation {
-    /// Builds a relation, deduplicating and sorting rows.
+    /// Builds a relation from materialized rows, deduplicating and
+    /// sorting. Prefer [`Relation::from_flat`] on hot paths — it takes
+    /// the rows as one flat buffer and never allocates per row.
     ///
     /// # Panics
     /// Panics if the schema has duplicate columns or a row has the wrong
     /// width.
-    pub fn new(schema: Vec<u32>, mut rows: Vec<Vec<u32>>) -> Self {
-        let unique: BTreeSet<u32> = schema.iter().copied().collect();
-        assert_eq!(unique.len(), schema.len(), "duplicate column in schema");
+    pub fn new(schema: Vec<u32>, rows: Vec<Vec<u32>>) -> Self {
         for row in &rows {
             assert_eq!(row.len(), schema.len(), "row width mismatch");
         }
-        rows.sort_unstable();
-        rows.dedup();
-        Relation { schema, rows }
+        if schema.is_empty() {
+            assert_distinct(&schema);
+            return Relation {
+                schema,
+                len: usize::from(!rows.is_empty()),
+                data: Vec::new(),
+            };
+        }
+        let mut data = Vec::with_capacity(rows.len() * schema.len());
+        for row in &rows {
+            data.extend_from_slice(row);
+        }
+        Relation::from_flat(schema, data)
+    }
+
+    /// Builds a relation from a flat row-major buffer, sorting and
+    /// deduplicating rows in place. The preferred constructor on hot
+    /// paths: one buffer in, one relation out, no per-row allocation.
+    ///
+    /// # Panics
+    /// Panics if the schema is empty (use [`Relation::unit`] /
+    /// [`Relation::empty`] for nullary relations), has duplicate
+    /// columns, or `data.len()` is not a multiple of the arity.
+    pub fn from_flat(schema: Vec<u32>, data: Vec<u32>) -> Self {
+        assert!(
+            !schema.is_empty(),
+            "nullary relations have no flat buffer; use unit()/empty()"
+        );
+        assert_distinct(&schema);
+        let arity = schema.len();
+        assert_eq!(data.len() % arity, 0, "flat buffer width mismatch");
+        let (len, data) = sort_dedup_flat(arity, data);
+        Relation { schema, len, data }
+    }
+
+    /// Builds a relation from a flat buffer whose rows are already
+    /// sorted and deduplicated — operations that preserve the canonical
+    /// order (selection, sorted extension, merges) use this to skip the
+    /// re-sort. Checked in debug builds.
+    fn from_sorted_flat(schema: Vec<u32>, len: usize, data: Vec<u32>) -> Self {
+        debug_assert_eq!(data.len(), len * schema.len());
+        debug_assert!(
+            schema.is_empty()
+                || data
+                    .chunks_exact(schema.len())
+                    .zip(data.chunks_exact(schema.len()).skip(1))
+                    .all(|(a, b)| a < b),
+            "rows must arrive sorted and deduplicated"
+        );
+        debug_assert!(!schema.is_empty() || len <= 1);
+        Relation { schema, len, data }
     }
 
     /// The nullary relation with a single empty row (the join identity).
     pub fn unit() -> Self {
         Relation {
             schema: Vec::new(),
-            rows: vec![Vec::new()],
+            len: 1,
+            data: Vec::new(),
         }
     }
 
@@ -46,7 +121,8 @@ impl Relation {
     pub fn empty() -> Self {
         Relation {
             schema: Vec::new(),
-            rows: Vec::new(),
+            len: 0,
+            data: Vec::new(),
         }
     }
 
@@ -55,19 +131,53 @@ impl Relation {
         &self.schema
     }
 
-    /// The rows (sorted, deduplicated).
-    pub fn rows(&self) -> &[Vec<u32>] {
-        &self.rows
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.schema.len()
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.len
     }
 
     /// Whether there are no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.len == 0
+    }
+
+    /// Row `i` as a slice into the arena.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn row(&self, i: usize) -> &[u32] {
+        assert!(i < self.len, "row index out of range");
+        let arity = self.schema.len();
+        &self.data[i * arity..(i + 1) * arity]
+    }
+
+    /// Iterates the rows (sorted, deduplicated) as `&[u32]` slices.
+    pub fn rows(&self) -> Rows<'_> {
+        Rows {
+            relation: self,
+            next: 0,
+        }
+    }
+
+    /// The same rows under a renamed schema (identical arity and column
+    /// order — only the identifiers change). Consumes the relation and
+    /// reuses its sorted arena: no copy, no re-sort.
+    ///
+    /// # Panics
+    /// Panics if the new schema's width differs or has duplicates.
+    pub fn renamed(self, schema: Vec<u32>) -> Relation {
+        assert_eq!(schema.len(), self.schema.len(), "renamed width mismatch");
+        assert_distinct(&schema);
+        Relation {
+            schema,
+            len: self.len,
+            data: self.data,
+        }
     }
 
     /// Natural join on shared columns (hash join; the smaller side builds).
@@ -79,79 +189,93 @@ impl Relation {
     /// contiguous row-range shards across up to `threads` pool workers.
     ///
     /// Shard boundaries depend only on row indices, and every partial
-    /// result set funnels through the same sort+dedup normalization in
-    /// [`Relation::new`], so the output is **bit-identical** to the
-    /// sequential join at every thread count.
+    /// result set funnels through the same sort+dedup normalization, so
+    /// the output is **bit-identical** to the sequential join at every
+    /// thread count.
     pub fn join_par(&self, other: &Relation, threads: usize) -> Relation {
         let (build, probe) = if self.len() <= other.len() {
             (self, other)
         } else {
             (other, self)
         };
-        // Shared columns and their positions.
-        let shared: Vec<u32> = build
+        // Position maps, computed once: probe column -> probe position,
+        // then one pass over the build schema finds the shared columns
+        // and one pass over the probe schema finds the extras (the seed
+        // layout re-scanned both schemas per column).
+        let probe_pos: HashMap<u32, usize> = probe
             .schema
             .iter()
-            .copied()
-            .filter(|c| probe.schema.contains(c))
+            .enumerate()
+            .map(|(i, &c)| (c, i))
             .collect();
-        let build_key: Vec<usize> = shared
-            .iter()
-            .map(|c| build.schema.iter().position(|x| x == c).unwrap())
-            .collect();
-        let probe_key: Vec<usize> = shared
-            .iter()
-            .map(|c| probe.schema.iter().position(|x| x == c).unwrap())
-            .collect();
-        // Output schema: build's columns then probe's non-shared columns.
+        let mut build_key: Vec<usize> = Vec::new();
+        let mut probe_key: Vec<usize> = Vec::new();
+        for (i, &c) in build.schema.iter().enumerate() {
+            if let Some(&j) = probe_pos.get(&c) {
+                build_key.push(i);
+                probe_key.push(j);
+            }
+        }
+        let shared: HashSet<u32> = build_key.iter().map(|&i| build.schema[i]).collect();
         let probe_extra: Vec<usize> = (0..probe.schema.len())
             .filter(|&i| !shared.contains(&probe.schema[i]))
             .collect();
+        // Output schema: build's columns then probe's non-shared columns.
         let mut schema = build.schema.clone();
         schema.extend(probe_extra.iter().map(|&i| probe.schema[i]));
 
-        let mut table: HashMap<Vec<u32>, Vec<&Vec<u32>>> = HashMap::new();
-        for row in &build.rows {
-            let key: Vec<u32> = build_key.iter().map(|&i| row[i]).collect();
-            table.entry(key).or_default().push(row);
+        if schema.is_empty() {
+            // Nullary ⋈ nullary: unit is the identity, empty annihilates.
+            return if build.len > 0 && probe.len > 0 {
+                Relation::unit()
+            } else {
+                Relation::empty()
+            };
         }
-        let probe_shard = |range: std::ops::Range<usize>| -> Vec<Vec<u32>> {
-            let mut rows = Vec::new();
-            for row in &probe.rows[range] {
-                let key: Vec<u32> = probe_key.iter().map(|&i| row[i]).collect();
-                if let Some(matches) = table.get(&key) {
-                    for b in matches {
-                        let mut out = (*b).clone();
-                        out.extend(probe_extra.iter().map(|&i| row[i]));
-                        rows.push(out);
-                    }
-                }
-            }
-            rows
+
+        // The key columns pack into a fixed-width integer for up to four
+        // shared columns (the overwhelmingly common case — shared sets
+        // are intersections of atom schemas); wider keys fall back to a
+        // boxed slice. Either way, no allocation per probe row on the
+        // packed paths.
+        let data = match build_key.len() {
+            0..=2 => hash_join(
+                build,
+                probe,
+                &build_key,
+                &probe_key,
+                &probe_extra,
+                threads,
+                |row: &[u32], cols: &[usize]| -> u64 {
+                    cols.iter()
+                        .fold(0u64, |acc, &c| (acc << 32) | u64::from(row[c]))
+                },
+            ),
+            3..=4 => hash_join(
+                build,
+                probe,
+                &build_key,
+                &probe_key,
+                &probe_extra,
+                threads,
+                |row: &[u32], cols: &[usize]| -> u128 {
+                    cols.iter()
+                        .fold(0u128, |acc, &c| (acc << 32) | u128::from(row[c]))
+                },
+            ),
+            _ => hash_join(
+                build,
+                probe,
+                &build_key,
+                &probe_key,
+                &probe_extra,
+                threads,
+                |row: &[u32], cols: &[usize]| -> Box<[u32]> {
+                    cols.iter().map(|&c| row[c]).collect()
+                },
+            ),
         };
-        // Small probe sides are not worth the pool hop, and shards
-        // below the minimum row count pay more in dispatch than they
-        // win in overlap — cap the shard count so every shard keeps at
-        // least PAR_JOIN_MIN_PROBE_ROWS rows.
-        let max_shards = probe.rows.len() / PAR_JOIN_MIN_PROBE_ROWS;
-        let rows = if threads <= 1 || max_shards < 2 {
-            probe_shard(0..probe.rows.len())
-        } else {
-            let shards = threads.saturating_mul(4).min(max_shards);
-            let jobs: Vec<_> = epq_pool::split_ranges(probe.rows.len() as u128, shards)
-                .into_iter()
-                .map(|(lo, hi)| {
-                    let probe_shard = &probe_shard;
-                    move || probe_shard(lo as usize..hi as usize)
-                })
-                .collect();
-            let mut rows = Vec::new();
-            for partial in epq_pool::run_jobs(threads, jobs) {
-                rows.extend(partial);
-            }
-            rows
-        };
-        Relation::new(schema, rows)
+        Relation::from_flat(schema, data)
     }
 
     /// Projection onto `columns` (with deduplication).
@@ -159,6 +283,9 @@ impl Relation {
     /// # Panics
     /// Panics if a requested column is absent.
     pub fn project(&self, columns: &[u32]) -> Relation {
+        if columns == self.schema {
+            return self.clone();
+        }
         let positions: Vec<usize> = columns
             .iter()
             .map(|c| {
@@ -168,27 +295,79 @@ impl Relation {
                     .unwrap_or_else(|| panic!("column {c} not in schema"))
             })
             .collect();
-        let rows = self
-            .rows
-            .iter()
-            .map(|row| positions.iter().map(|&i| row[i]).collect())
-            .collect();
-        Relation::new(columns.to_vec(), rows)
+        if columns.is_empty() {
+            return if self.len > 0 {
+                Relation::unit()
+            } else {
+                Relation::empty()
+            };
+        }
+        let mut data = Vec::with_capacity(self.len * columns.len());
+        for row in self.rows() {
+            data.extend(positions.iter().map(|&i| row[i]));
+        }
+        Relation::from_flat(columns.to_vec(), data)
     }
 
     /// Set union. Schemas must contain the same columns; `other` is
-    /// reordered to match.
+    /// reordered to match. Both sides are already sorted and
+    /// deduplicated, so this is a single merge pass — no re-sort.
     ///
     /// # Panics
-    /// Panics if the column sets differ.
+    /// Panics if a column of `self` is absent from `other`.
     pub fn union(&self, other: &Relation) -> Relation {
-        let reordered = other.project(&self.schema);
-        let mut rows = self.rows.clone();
-        rows.extend(reordered.rows);
-        Relation::new(self.schema.clone(), rows)
+        let reordered;
+        let other = if other.schema == self.schema {
+            other
+        } else {
+            reordered = other.project(&self.schema);
+            &reordered
+        };
+        if self.schema.is_empty() {
+            return if self.len > 0 || other.len > 0 {
+                Relation::unit()
+            } else {
+                Relation::empty()
+            };
+        }
+        let arity = self.schema.len();
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        let mut len = 0usize;
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.len && j < other.len {
+            let a = self.row(i);
+            let b = other.row(j);
+            match a.cmp(b) {
+                std::cmp::Ordering::Less => {
+                    data.extend_from_slice(a);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    data.extend_from_slice(b);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    data.extend_from_slice(a);
+                    i += 1;
+                    j += 1;
+                }
+            }
+            len += 1;
+        }
+        if i < self.len {
+            data.extend_from_slice(&self.data[i * arity..]);
+            len += self.len - i;
+        }
+        if j < other.len {
+            data.extend_from_slice(&other.data[j * arity..]);
+            len += other.len - j;
+        }
+        Relation::from_sorted_flat(self.schema.clone(), len, data)
     }
 
     /// Cross product with a fresh column ranging over `0..domain`.
+    /// Appending a trailing column with ascending values preserves the
+    /// sorted order, so no re-sort happens.
     ///
     /// # Panics
     /// Panics if `column` is already in the schema.
@@ -199,35 +378,253 @@ impl Relation {
         );
         let mut schema = self.schema.clone();
         schema.push(column);
-        let mut rows = Vec::with_capacity(self.rows.len() * domain);
-        for row in &self.rows {
+        let mut data = Vec::with_capacity(self.len * domain * schema.len());
+        for row in self.rows() {
             for x in 0..domain as u32 {
-                let mut out = row.clone();
-                out.push(x);
-                rows.push(out);
+                data.extend_from_slice(row);
+                data.push(x);
             }
         }
-        Relation::new(schema, rows)
+        Relation::from_sorted_flat(schema, self.len * domain, data)
     }
 
-    /// Selection: keep rows where the given columns are equal.
+    /// Selection: keep rows where the given columns are equal. Filtering
+    /// preserves the canonical order, so no re-sort happens.
     pub fn select_eq(&self, a: u32, b: u32) -> Relation {
         let pa = self.schema.iter().position(|&x| x == a).expect("column a");
         let pb = self.schema.iter().position(|&x| x == b).expect("column b");
-        let rows = self
-            .rows
-            .iter()
-            .filter(|row| row[pa] == row[pb])
-            .cloned()
-            .collect();
-        Relation::new(self.schema.clone(), rows)
+        let mut data = Vec::new();
+        let mut len = 0usize;
+        for row in self.rows() {
+            if row[pa] == row[pb] {
+                data.extend_from_slice(row);
+                len += 1;
+            }
+        }
+        Relation::from_sorted_flat(self.schema.clone(), len, data)
     }
+}
+
+/// Iterator over a relation's rows as `&[u32]` slices.
+#[derive(Clone)]
+pub struct Rows<'a> {
+    relation: &'a Relation,
+    next: usize,
+}
+
+impl<'a> Iterator for Rows<'a> {
+    type Item = &'a [u32];
+
+    fn next(&mut self) -> Option<&'a [u32]> {
+        if self.next >= self.relation.len {
+            return None;
+        }
+        let row = self.relation.row(self.next);
+        self.next += 1;
+        Some(row)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.relation.len - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for Rows<'_> {}
+
+impl<'a> IntoIterator for &'a Relation {
+    type Item = &'a [u32];
+    type IntoIter = Rows<'a>;
+
+    fn into_iter(self) -> Rows<'a> {
+        self.rows()
+    }
+}
+
+/// Panics if `schema` repeats a column.
+fn assert_distinct(schema: &[u32]) {
+    let mut sorted = schema.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), schema.len(), "duplicate column in schema");
+}
+
+/// Sorts a flat row-major buffer lexicographically by row and drops
+/// duplicate rows. Returns the surviving row count and buffer.
+///
+/// Rows of up to four columns pack into a single `u64`/`u128` whose
+/// integer order *is* the lexicographic row order, so the common
+/// arities sort machine words instead of comparing slices through an
+/// index permutation.
+fn sort_dedup_flat(arity: usize, mut data: Vec<u32>) -> (usize, Vec<u32>) {
+    debug_assert!(arity > 0);
+    match arity {
+        1 => {
+            data.sort_unstable();
+            data.dedup();
+            let len = data.len();
+            (len, data)
+        }
+        2 => {
+            let mut packed: Vec<u64> = data
+                .chunks_exact(2)
+                .map(|r| (u64::from(r[0]) << 32) | u64::from(r[1]))
+                .collect();
+            packed.sort_unstable();
+            packed.dedup();
+            data.clear();
+            for p in &packed {
+                data.push((p >> 32) as u32);
+                data.push(*p as u32);
+            }
+            (packed.len(), data)
+        }
+        3 | 4 => {
+            let mut packed: Vec<u128> = data
+                .chunks_exact(arity)
+                .map(|r| r.iter().fold(0u128, |acc, &v| (acc << 32) | u128::from(v)))
+                .collect();
+            packed.sort_unstable();
+            packed.dedup();
+            data.clear();
+            for p in &packed {
+                for c in (0..arity).rev() {
+                    data.push((p >> (32 * c)) as u32);
+                }
+            }
+            (packed.len(), data)
+        }
+        _ => {
+            let n = data.len() / arity;
+            let row = |i: usize| &data[i * arity..(i + 1) * arity];
+            let mut perm: Vec<u32> = (0..n as u32).collect();
+            perm.sort_unstable_by(|&a, &b| row(a as usize).cmp(row(b as usize)));
+            let mut out = Vec::with_capacity(data.len());
+            let mut len = 0usize;
+            for &i in &perm {
+                let r = row(i as usize);
+                if len == 0 || out[(len - 1) * arity..] != *r {
+                    out.extend_from_slice(r);
+                    len += 1;
+                }
+            }
+            (len, out)
+        }
+    }
+}
+
+/// A multiply-mix hasher for the join table's packed integer keys.
+/// SipHash (the `HashMap` default) is measurable overhead when the key
+/// is a single machine word hashed twice per probe row; join keys are
+/// data values, not attacker-controlled input, so the DoS resistance
+/// buys nothing here.
+#[derive(Clone, Copy, Default)]
+struct MixHasher(u64);
+
+impl std::hash::Hasher for MixHasher {
+    fn finish(&self) -> u64 {
+        // Final avalanche (splitmix64's tail).
+        let mut h = self.0;
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58476d1ce4e5b9);
+        h ^= h >> 27;
+        h
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100000001b3);
+        }
+    }
+
+    fn write_u64(&mut self, x: u64) {
+        self.0 = (self.0 ^ x).wrapping_mul(0x9e3779b97f4a7c15);
+    }
+
+    fn write_u128(&mut self, x: u128) {
+        self.write_u64(x as u64);
+        self.write_u64((x >> 64) as u64);
+    }
+
+    fn write_u32(&mut self, x: u32) {
+        self.write_u64(u64::from(x));
+    }
+
+    fn write_usize(&mut self, x: usize) {
+        self.write_u64(x as u64);
+    }
+}
+
+type MixBuild = std::hash::BuildHasherDefault<MixHasher>;
+
+/// The shared hash-join core, monomorphized over the packed key type:
+/// builds a key → build-row-indices table from the smaller side, then
+/// streams the probe side (optionally sharded across the pool) and
+/// appends matched rows to one flat output buffer.
+fn hash_join<K>(
+    build: &Relation,
+    probe: &Relation,
+    build_key: &[usize],
+    probe_key: &[usize],
+    probe_extra: &[usize],
+    threads: usize,
+    key_of: impl Fn(&[u32], &[usize]) -> K + Sync,
+) -> Vec<u32>
+where
+    K: std::hash::Hash + Eq + Send + Sync,
+{
+    let out_arity = build.arity() + probe_extra.len();
+    let mut table: HashMap<K, Vec<u32>, MixBuild> =
+        HashMap::with_capacity_and_hasher(build.len(), MixBuild::default());
+    for (i, row) in build.rows().enumerate() {
+        table
+            .entry(key_of(row, build_key))
+            .or_default()
+            .push(i as u32);
+    }
+    let table = &table;
+    let key_of = &key_of;
+    let probe_shard = |range: std::ops::Range<usize>| -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for pi in range {
+            let row = probe.row(pi);
+            if let Some(matches) = table.get(&key_of(row, probe_key)) {
+                out.reserve(matches.len() * out_arity);
+                for &bi in matches {
+                    out.extend_from_slice(build.row(bi as usize));
+                    out.extend(probe_extra.iter().map(|&i| row[i]));
+                }
+            }
+        }
+        out
+    };
+    // Small probe sides are not worth the pool hop, and shards below
+    // the minimum row count pay more in dispatch than they win in
+    // overlap — cap the shard count so every shard keeps at least
+    // PAR_JOIN_MIN_PROBE_ROWS rows.
+    let max_shards = probe.len() / PAR_JOIN_MIN_PROBE_ROWS;
+    if threads <= 1 || max_shards < 2 {
+        return probe_shard(0..probe.len());
+    }
+    let shards = threads.saturating_mul(4).min(max_shards);
+    let jobs: Vec<_> = epq_pool::split_ranges(probe.len() as u128, shards)
+        .into_iter()
+        .map(|(lo, hi)| {
+            let probe_shard = &probe_shard;
+            move || probe_shard(lo as usize..hi as usize)
+        })
+        .collect();
+    let mut out = Vec::new();
+    for partial in epq_pool::run_jobs(threads, jobs) {
+        out.extend(partial);
+    }
+    out
 }
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:?}", self.schema)?;
-        for row in &self.rows {
+        for row in self.rows() {
             writeln!(f, "{row:?}")?;
         }
         Ok(())
@@ -242,11 +639,16 @@ mod tests {
         Relation::new(schema.to_vec(), rows.iter().map(|r| r.to_vec()).collect())
     }
 
+    fn row_vecs(r: &Relation) -> Vec<Vec<u32>> {
+        r.rows().map(|row| row.to_vec()).collect()
+    }
+
     #[test]
     fn rows_are_set_semantics() {
         let r = rel(&[0, 1], &[&[1, 2], &[0, 1], &[1, 2]]);
         assert_eq!(r.len(), 2);
-        assert_eq!(r.rows()[0], vec![0, 1]);
+        assert_eq!(r.row(0), &[0, 1]);
+        assert_eq!(r.rows().len(), 2);
     }
 
     #[test]
@@ -256,7 +658,7 @@ mod tests {
         let s = rel(&[1, 2], &[&[2, 5], &[2, 6], &[9, 9]]);
         let j = r.join(&s);
         assert_eq!(j.schema(), &[0, 1, 2]);
-        assert_eq!(j.rows(), &[vec![1, 2, 5], vec![1, 2, 6]]);
+        assert_eq!(row_vecs(&j), vec![vec![1, 2, 5], vec![1, 2, 6]]);
     }
 
     #[test]
@@ -265,6 +667,25 @@ mod tests {
         let s = rel(&[1], &[&[7], &[8]]);
         let j = r.join(&s);
         assert_eq!(j.len(), 4);
+    }
+
+    #[test]
+    fn join_with_many_shared_columns_uses_wide_keys() {
+        // Five shared columns exercise the boxed-key fallback; three
+        // exercise the u128 path.
+        for arity in [3usize, 5] {
+            let schema: Vec<u32> = (0..arity as u32).collect();
+            let rows: Vec<Vec<u32>> = (0..40u32)
+                .map(|i| (0..arity as u32).map(|c| (i + c) % 7).collect())
+                .collect();
+            let r = Relation::new(schema.clone(), rows.clone());
+            let s = Relation::new(schema.clone(), rows[..20].to_vec());
+            let j = r.join(&s);
+            assert_eq!(j.schema(), &schema[..]);
+            assert_eq!(j, s.join(&r));
+            // Self-join on the full schema is idempotent.
+            assert_eq!(r.join(&r), r);
+        }
     }
 
     #[test]
@@ -291,13 +712,21 @@ mod tests {
         let r = rel(&[0], &[&[1], &[2]]);
         assert_eq!(r.join(&Relation::unit()), r);
         assert!(r.join(&Relation::empty()).is_empty());
+        assert_eq!(Relation::unit().join(&Relation::unit()), Relation::unit());
+        assert!(Relation::unit().join(&Relation::empty()).is_empty());
     }
 
     #[test]
     fn projection_dedupes() {
         let r = rel(&[0, 1], &[&[1, 5], &[1, 6], &[2, 5]]);
         let p = r.project(&[0]);
-        assert_eq!(p.rows(), &[vec![1], vec![2]]);
+        assert_eq!(row_vecs(&p), vec![vec![1], vec![2]]);
+        // Projection onto the empty column list: unit iff nonempty.
+        assert_eq!(r.project(&[]), Relation::unit());
+        assert_eq!(
+            Relation::new(vec![0], Vec::new()).project(&[]),
+            Relation::empty()
+        );
     }
 
     #[test]
@@ -306,7 +735,25 @@ mod tests {
         let s = rel(&[1, 0], &[&[2, 1], &[9, 8]]);
         let u = r.union(&s);
         assert_eq!(u.len(), 2); // (1,2) merges with reordered (2,1)
-        assert!(u.rows().contains(&vec![8, 9]));
+        assert!(u.rows().any(|row| row == [8, 9]));
+    }
+
+    #[test]
+    fn union_merges_sorted_sides() {
+        let r = rel(&[0], &[&[1], &[3], &[5]]);
+        let s = rel(&[0], &[&[0], &[3], &[9]]);
+        let u = r.union(&s);
+        assert_eq!(
+            row_vecs(&u),
+            vec![vec![0], vec![1], vec![3], vec![5], vec![9]]
+        );
+        assert_eq!(u, s.union(&r));
+        // Nullary unions.
+        assert_eq!(Relation::unit().union(&Relation::empty()), Relation::unit());
+        assert_eq!(
+            Relation::empty().union(&Relation::empty()),
+            Relation::empty()
+        );
     }
 
     #[test]
@@ -321,7 +768,29 @@ mod tests {
     fn select_eq_filters() {
         let r = rel(&[0, 1], &[&[1, 1], &[1, 2], &[3, 3]]);
         let s = r.select_eq(0, 1);
-        assert_eq!(s.rows(), &[vec![1, 1], vec![3, 3]]);
+        assert_eq!(row_vecs(&s), vec![vec![1, 1], vec![3, 3]]);
+    }
+
+    #[test]
+    fn renamed_keeps_rows() {
+        let r = rel(&[0, 1], &[&[1, 2], &[3, 4]]);
+        let rows = row_vecs(&r);
+        let n = r.renamed(vec![7, 9]);
+        assert_eq!(n.schema(), &[7, 9]);
+        assert_eq!(row_vecs(&n), rows);
+    }
+
+    #[test]
+    fn wide_rows_sort_and_dedup() {
+        // Arity 3 takes the permutation-sort path.
+        let r = rel(
+            &[0, 1, 2],
+            &[&[2, 0, 0], &[1, 9, 9], &[1, 9, 9], &[1, 0, 3]],
+        );
+        assert_eq!(
+            row_vecs(&r),
+            vec![vec![1, 0, 3], vec![1, 9, 9], vec![2, 0, 0]]
+        );
     }
 
     #[test]

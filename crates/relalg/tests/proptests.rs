@@ -10,11 +10,14 @@
 
 use epq_logic::query::infer_signature;
 use epq_logic::{dnf, Formula, PpFormula, Query, Var};
-use epq_relalg::{answers_pp, answers_pp_par, count_pp, count_pp_par, count_ucq, count_ucq_par};
+use epq_relalg::{
+    answers_pp, answers_pp_par, count_pp, count_pp_par, count_ucq, count_ucq_par, Relation,
+};
 use epq_structures::{Signature, Structure};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
 
 /// Enumerates all liberal assignments, counting those that extend to a
 /// homomorphism — the ground truth `|φ(B)|`.
@@ -96,6 +99,216 @@ fn digraph(seed: u64, n: usize, p: f64) -> Structure {
         }
     }
     s
+}
+
+/// A straightforward reference model of a relation: the schema plus a
+/// `BTreeSet` of rows. Every operation is the obvious nested-loop /
+/// set-theoretic definition, so any agreement failure points at the
+/// flat arena layout of [`Relation`], not at a second clever
+/// implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Model {
+    schema: Vec<u32>,
+    rows: BTreeSet<Vec<u32>>,
+}
+
+impl Model {
+    fn of(r: &Relation) -> Model {
+        Model {
+            schema: r.schema().to_vec(),
+            rows: r.rows().map(|row| row.to_vec()).collect(),
+        }
+    }
+
+    /// Natural join, mirroring the engine's schema rule: the smaller
+    /// side's columns first (ties keep `self`), then the probe extras.
+    fn join(&self, other: &Model) -> Model {
+        let (build, probe) = if self.rows.len() <= other.rows.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut schema = build.schema.clone();
+        let probe_extra: Vec<usize> = (0..probe.schema.len())
+            .filter(|&i| !build.schema.contains(&probe.schema[i]))
+            .collect();
+        schema.extend(probe_extra.iter().map(|&i| probe.schema[i]));
+        let mut rows = BTreeSet::new();
+        for b_row in &build.rows {
+            'probe: for p_row in &probe.rows {
+                for (bi, &c) in build.schema.iter().enumerate() {
+                    if let Some(pi) = probe.schema.iter().position(|&x| x == c) {
+                        if b_row[bi] != p_row[pi] {
+                            continue 'probe;
+                        }
+                    }
+                }
+                let mut out = b_row.clone();
+                out.extend(probe_extra.iter().map(|&i| p_row[i]));
+                rows.insert(out);
+            }
+        }
+        Model { schema, rows }
+    }
+
+    fn project(&self, columns: &[u32]) -> Model {
+        let positions: Vec<usize> = columns
+            .iter()
+            .map(|c| self.schema.iter().position(|x| x == c).unwrap())
+            .collect();
+        Model {
+            schema: columns.to_vec(),
+            rows: self
+                .rows
+                .iter()
+                .map(|row| positions.iter().map(|&i| row[i]).collect())
+                .collect(),
+        }
+    }
+
+    fn union(&self, other: &Model) -> Model {
+        let reordered = other.project(&self.schema);
+        Model {
+            schema: self.schema.clone(),
+            rows: self.rows.union(&reordered.rows).cloned().collect(),
+        }
+    }
+
+    fn select_eq(&self, a: u32, b: u32) -> Model {
+        let pa = self.schema.iter().position(|&x| x == a).unwrap();
+        let pb = self.schema.iter().position(|&x| x == b).unwrap();
+        Model {
+            schema: self.schema.clone(),
+            rows: self
+                .rows
+                .iter()
+                .filter(|row| row[pa] == row[pb])
+                .cloned()
+                .collect(),
+        }
+    }
+
+    fn extend_with_domain(&self, column: u32, domain: usize) -> Model {
+        let mut schema = self.schema.clone();
+        schema.push(column);
+        let mut rows = BTreeSet::new();
+        for row in &self.rows {
+            for x in 0..domain as u32 {
+                let mut out = row.clone();
+                out.push(x);
+                rows.insert(out);
+            }
+        }
+        Model { schema, rows }
+    }
+}
+
+/// The flat relation and the model must agree exactly: same schema,
+/// same rows, and — because `BTreeSet` iterates in lexicographic order,
+/// the canonical order of the arena — the same row sequence.
+fn assert_agrees(r: &Relation, m: &Model) -> Result<(), TestCaseError> {
+    prop_assert_eq!(r.schema(), &m.schema[..]);
+    prop_assert_eq!(r.len(), m.rows.len());
+    for (row, expected) in r.rows().zip(m.rows.iter()) {
+        prop_assert_eq!(row, &expected[..]);
+    }
+    Ok(())
+}
+
+/// A random relation over `arity` columns drawn from a disjoint id
+/// range, with values in `0..vals`, plus its model.
+fn random_relation(seed: u64, columns: &[u32], rows: usize, vals: u32) -> (Relation, Model) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let rows: Vec<Vec<u32>> = (0..rows)
+        .map(|_| columns.iter().map(|_| rng.gen_range(0..vals)).collect())
+        .collect();
+    let r = Relation::new(columns.to_vec(), rows);
+    let m = Model::of(&r);
+    (r, m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn flat_join_agrees_with_model(
+        seed1 in 0u64..10_000,
+        seed2 in 0u64..10_000,
+        arity1 in 1usize..=3,
+        arity2 in 1usize..=3,
+        overlap in 0usize..=2,
+        n1 in 0usize..40,
+        n2 in 0usize..40,
+        vals in 1u32..=4,
+    ) {
+        // Schemas share `overlap` columns (ids 0..overlap), the rest are
+        // disjoint — covering cross products, partial joins, and
+        // full-schema intersections.
+        let overlap = overlap.min(arity1).min(arity2);
+        let cols1: Vec<u32> = (0..overlap as u32)
+            .chain((10..).take(arity1 - overlap))
+            .collect();
+        let cols2: Vec<u32> = (0..overlap as u32)
+            .chain((20..).take(arity2 - overlap))
+            .collect();
+        let (r1, m1) = random_relation(seed1, &cols1, n1, vals);
+        let (r2, m2) = random_relation(seed2, &cols2, n2, vals);
+        let joined = r1.join(&r2);
+        assert_agrees(&joined, &m1.join(&m2))?;
+        for threads in [1usize, 2, 4] {
+            prop_assert_eq!(&r1.join_par(&r2, threads), &joined, "threads = {}", threads);
+        }
+    }
+
+    #[test]
+    fn flat_ops_round_trip_against_model(
+        seed in 0u64..10_000,
+        arity in 1usize..=4,
+        n in 0usize..60,
+        vals in 1u32..=4,
+        pick in 0usize..100,
+        domain in 0usize..=3,
+    ) {
+        let cols: Vec<u32> = (0..arity as u32).collect();
+        let (r, m) = random_relation(seed, &cols, n, vals);
+
+        // Projection onto a nonempty column subset (reversed to also
+        // exercise reordering), chosen by the `pick` bitmask.
+        let subset: Vec<u32> = cols
+            .iter()
+            .rev()
+            .filter(|&&c| pick & (1 << c) != 0)
+            .copied()
+            .collect();
+        if !subset.is_empty() {
+            assert_agrees(&r.project(&subset), &m.project(&subset))?;
+            // Projecting twice is the same as projecting once.
+            prop_assert_eq!(
+                &r.project(&subset).project(&subset),
+                &r.project(&subset)
+            );
+        }
+
+        // Selection on a random column pair.
+        let a = cols[pick % arity];
+        let b = cols[(pick / 7) % arity];
+        assert_agrees(&r.select_eq(a, b), &m.select_eq(a, b))?;
+
+        // Extension by a fresh column.
+        assert_agrees(
+            &r.extend_with_domain(99, domain),
+            &m.extend_with_domain(99, domain),
+        )?;
+
+        // Union with a reshuffled relation over the same columns, via
+        // the model and via algebra: A ∪ A = A, A ∪ B = B ∪ A.
+        let mut shuffled = cols.clone();
+        shuffled.reverse();
+        let (s, sm) = random_relation(seed ^ 0x5eed, &shuffled, n / 2, vals);
+        assert_agrees(&r.union(&s), &m.union(&sm))?;
+        prop_assert_eq!(&r.union(&r), &r);
+        prop_assert_eq!(r.union(&s), s.project(&cols).union(&r));
+    }
 }
 
 proptest! {
