@@ -1,0 +1,77 @@
+//! P4 — streaming maintenance: incremental `LiveCount` vs
+//! prepare-once/recount-each-checkpoint on the same insert log, plus
+//! the steady-state cost of a saturated (sentence-latched) maintainer.
+//!
+//! The replay pipelines and the seed-then-stream workload builder are
+//! shared with the `P4` experiment gate (`epq_bench::{p4_stream_log,
+//! stream_incremental, stream_recount}`), so the suite and the gate
+//! always measure the same thing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epq_bench::{p4_stream_log, stream_incremental, stream_recount};
+use epq_core::incremental::LiveCount;
+use epq_core::prepared::PreparedQuery;
+use epq_counting::engines::{PpCountingEngine, RelalgEngine};
+use epq_logic::parser::parse_query;
+use epq_logic::Query;
+use epq_structures::live::StreamLog;
+use epq_structures::Signature;
+use epq_workloads::data;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn relalg() -> Box<dyn PpCountingEngine> {
+    Box::new(RelalgEngine)
+}
+
+/// The P4 workload shape at bench size: a bulk seed phase into `E`,
+/// then a hot `F` stream with periodic checkpoints.
+fn workload() -> (Query, StreamLog) {
+    let query = parse_query("(x,y,z) := (E(x,y) & E(y,z)) | (F(x,y) & F(y,z))").unwrap();
+    (query, p4_stream_log(32, 700, 120, 20, 17))
+}
+
+fn incremental_vs_recount(c: &mut Criterion) {
+    let (query, log) = workload();
+    let mut group = c.benchmark_group("P4/stream");
+    group.sample_size(10);
+    group.bench_function("incremental", |b| {
+        b.iter(|| stream_incremental(&query, &log, relalg, 1));
+    });
+    group.bench_function("recount", |b| {
+        b.iter(|| stream_recount(&query, &log, relalg));
+    });
+    group.finish();
+}
+
+fn saturated_steady_state(c: &mut Criterion) {
+    // Once a sentence disjunct holds, reconciliation is O(1): the
+    // count is pinned at |B|^s by the monotone latch.
+    let query = parse_query("(x, y) := E(x,y) | (exists a . F(a,a))").unwrap();
+    let sig = Signature::from_symbols([("E", 2), ("F", 2)]);
+    let log = {
+        let mut rng = StdRng::seed_from_u64(19);
+        data::random_insert_log(&mut rng, &sig, 24, 200, 25, &[3, 1])
+    };
+    let mut group = c.benchmark_group("P4/saturated");
+    group.sample_size(20);
+    group.bench_function("latched-replay", |b| {
+        b.iter(|| {
+            let prepared = PreparedQuery::prepare_uncached(&query, &log.signature)
+                .unwrap()
+                .with_engine(relalg());
+            let mut live = LiveCount::new(prepared, log.open()).unwrap();
+            // The very first F loop latches the sentence; everything
+            // after is the O(1) steady state.
+            live.insert_tuple_named("F", &[0, 0]);
+            log.ops
+                .iter()
+                .filter_map(|op| live.apply(op))
+                .collect::<Vec<_>>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, incremental_vs_recount, saturated_steady_state);
+criterion_main!(benches);

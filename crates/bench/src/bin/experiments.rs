@@ -2,18 +2,23 @@
 //! (ids `T1`, `E1`–`E6`, `F1`–`F4`, `A1`–`A3`), plus the CI
 //! bench-smoke gates: `P1` (parallel engines vs sequential; writes
 //! `BENCH_engines.json`), `P2` (prepared-query amortization and
-//! batched counting; writes `BENCH_prepared.json`), and `P3` (flat
-//! arena relations vs the seed nested-`Vec` layout; writes
-//! `BENCH_relalg.json`). All gates exit nonzero on any count
+//! batched counting; writes `BENCH_prepared.json`), `P3` (flat arena
+//! relations vs the seed nested-`Vec` layout; writes
+//! `BENCH_relalg.json`), and `P4` (incremental streaming maintenance
+//! vs prepare-once/recount-each-checkpoint; writes
+//! `BENCH_streaming.json`). All gates exit nonzero on any count
 //! disagreement.
 //!
 //! ```sh
-//! cargo run -p epq-bench --release --bin experiments               # all
-//! cargo run -p epq-bench --release --bin experiments -- T1 F2     # some
-//! cargo run -p epq-bench --release --bin experiments -- P1 P2 P3  # CI gates
+//! cargo run -p epq-bench --release --bin experiments                  # all
+//! cargo run -p epq-bench --release --bin experiments -- T1 F2        # some
+//! cargo run -p epq-bench --release --bin experiments -- P1 P2 P3 P4  # CI gates
 //! ```
 
-use epq_bench::{json_escape, pp_of, row, rule, time_engine, time_us};
+use epq_bench::{
+    json_escape, p4_stream_log, pp_of, row, rule, stream_incremental, stream_recount, time_engine,
+    time_us,
+};
 use epq_core::classify::FamilyReport;
 use epq_core::count::{count_ep, count_ep_with};
 use epq_core::equivalence::{counting_equivalent, empirically_counting_equivalent};
@@ -79,6 +84,9 @@ fn main() {
     }
     if want("P3") {
         p3_relalg_layouts();
+    }
+    if want("P4") {
+        p4_streaming();
     }
     if want("A1") {
         a1_distinguisher_ablation();
@@ -773,6 +781,186 @@ fn p3_json(rows: &[P3Row], disagreements: usize, join_speedup: f64) -> String {
             json_escape(r.layout),
             r.median_us,
             r.out_rows,
+            r.agrees,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One measured configuration of the P4 streaming comparison.
+struct P4Row {
+    family: &'static str,
+    variant: &'static str,
+    inserts: usize,
+    checkpoints: usize,
+    median_us: f64,
+    agrees: bool,
+}
+
+/// P4 — streaming maintenance: `LiveCount` (per-disjunct read sets +
+/// cached relational-algebra scans) against prepare-once/
+/// recount-each-checkpoint on the same insert log. A second, smaller
+/// family runs the DP-table fallback (`fpt` engine) for agreement.
+///
+/// Writes a machine-readable report to `BENCH_streaming.json`
+/// (override the path with `EPQ_BENCH_STREAMING_JSON`); CI's
+/// `bench-smoke` job uploads it and gates on the recorded
+/// `incremental_speedup`. **Exits nonzero if any checkpoint count
+/// disagrees** between incremental maintenance and the from-scratch
+/// recount.
+fn p4_streaming() {
+    use epq_counting::engines::{ParRelalgEngine, RelalgEngine};
+
+    println!("== P4: streaming — incremental maintenance vs recount-per-checkpoint ==");
+    let mut rows: Vec<P4Row> = Vec::new();
+    let widths = [14, 14, 9, 12, 12, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "family".into(),
+                "variant".into(),
+                "inserts".into(),
+                "checkpoints".into(),
+                "median us".into(),
+                "agree".into()
+            ],
+            &widths
+        )
+    );
+    println!("{}", rule(&widths));
+    let print_row = |r: &P4Row| {
+        println!(
+            "{}",
+            row(
+                &[
+                    r.family.into(),
+                    r.variant.into(),
+                    r.inserts.to_string(),
+                    r.checkpoints.to_string(),
+                    format!("{:.0}", r.median_us),
+                    r.agrees.to_string()
+                ],
+                &widths
+            )
+        );
+    };
+
+    // The gate family: a large, quiet E next to a hot F stream. The
+    // E-path term dominates a full recount; incremental maintenance
+    // recounts only the F-reading terms at each checkpoint.
+    let query = parse_query("(x,y,z) := (E(x,y) & E(y,z)) | (F(x,y) & F(y,z))").unwrap();
+    let log = p4_stream_log(48, 1600, 300, 30, 41);
+    let checkpoints = log.checkpoint_count();
+    let inserts = log.insert_count();
+    let relalg: fn() -> Box<dyn PpCountingEngine> = || Box::new(RelalgEngine);
+    let reference = stream_recount(&query, &log, relalg);
+    let incremental = stream_incremental(&query, &log, relalg, 1);
+    let agrees = incremental == reference;
+    let recount_us = time_us(3, || {
+        let _ = stream_recount(&query, &log, relalg);
+    });
+    let incremental_us = time_us(3, || {
+        let _ = stream_incremental(&query, &log, relalg, 1);
+    });
+    rows.push(P4Row {
+        family: "skewed-feed",
+        variant: "recount",
+        inserts,
+        checkpoints,
+        median_us: recount_us,
+        agrees: true,
+    });
+    print_row(rows.last().unwrap());
+    rows.push(P4Row {
+        family: "skewed-feed",
+        variant: "incremental",
+        inserts,
+        checkpoints,
+        median_us: incremental_us,
+        agrees,
+    });
+    print_row(rows.last().unwrap());
+    let incremental_speedup = recount_us / incremental_us;
+    println!(
+        "  -> incremental speedup over recount-per-checkpoint: {incremental_speedup:.2}x \
+         (term reuse + scan caching; thread-count independent)"
+    );
+
+    // Pool-parallel maintenance: same counts, joins sharded.
+    let par: fn() -> Box<dyn PpCountingEngine> = || Box::new(ParRelalgEngine::new(4));
+    let par_counts = stream_incremental(&query, &log, par, 4);
+    let par_us = time_us(3, || {
+        let _ = stream_incremental(&query, &log, par, 4);
+    });
+    rows.push(P4Row {
+        family: "skewed-feed",
+        variant: "incr-par/4t",
+        inserts,
+        checkpoints,
+        median_us: par_us,
+        agrees: par_counts == reference,
+    });
+    print_row(rows.last().unwrap());
+
+    // The DP-table fallback family (smaller: every affected term is
+    // fully recounted through the fpt engine — this checks agreement,
+    // not speed).
+    let fallback_query = parse_query("(x,y) := (E(x,y) & E(y,x)) | F(x,y)").unwrap();
+    let small = p4_stream_log(12, 60, 60, 12, 43);
+    let fpt: fn() -> Box<dyn PpCountingEngine> = || Box::new(FptEngine);
+    let fb_reference = stream_recount(&fallback_query, &small, fpt);
+    let fb_incremental = stream_incremental(&fallback_query, &small, fpt, 1);
+    let fb_us = time_us(3, || {
+        let _ = stream_incremental(&fallback_query, &small, fpt, 1);
+    });
+    rows.push(P4Row {
+        family: "fallback-fpt",
+        variant: "incremental",
+        inserts: small.insert_count(),
+        checkpoints: small.checkpoint_count(),
+        median_us: fb_us,
+        agrees: fb_incremental == fb_reference,
+    });
+    print_row(rows.last().unwrap());
+
+    let disagreements = rows.iter().filter(|r| !r.agrees).count();
+    let path = std::env::var("EPQ_BENCH_STREAMING_JSON")
+        .unwrap_or_else(|_| "BENCH_streaming.json".to_string());
+    let json = p4_json(&rows, disagreements, incremental_speedup);
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("  report written to {path}"),
+        Err(e) => eprintln!("  could not write {path}: {e}"),
+    }
+    if disagreements > 0 {
+        eprintln!(
+            "P4 FAILED: {disagreements} incremental checkpoint series disagree with recounts"
+        );
+        std::process::exit(1);
+    }
+    println!("  all incremental checkpoint counts agree with from-scratch recounts \u{2714}\n");
+}
+
+/// Renders the P4 report as JSON (by hand; the container has no serde).
+fn p4_json(rows: &[P4Row], disagreements: usize, incremental_speedup: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"P4\",\n");
+    out.push_str(&format!("  \"disagreements\": {disagreements},\n"));
+    out.push_str(&format!(
+        "  \"incremental_speedup\": {incremental_speedup:.2},\n"
+    ));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"variant\": \"{}\", \"inserts\": {}, \
+             \"checkpoints\": {}, \"median_us\": {:.1}, \"agrees\": {}}}{}\n",
+            json_escape(r.family),
+            json_escape(r.variant),
+            r.inserts,
+            r.checkpoints,
+            r.median_us,
             r.agrees,
             if i + 1 == rows.len() { "" } else { "," }
         ));

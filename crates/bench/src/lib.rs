@@ -82,6 +82,85 @@ pub fn p3_join_pair(n: usize) -> ((Vec<u32>, Vec<Vec<u32>>), (Vec<u32>, Vec<Vec<
     )
 }
 
+/// The `P4` streaming workload: a bulk seed phase into `E` (one
+/// checkpoint at its end), then a hot stream into `F` with a
+/// checkpoint every `checkpoint_every` inserts — the traffic shape
+/// where most writes land on one relation while the query also reads
+/// a large, quiet one. Shared by the `P4` experiment gate and the
+/// `streaming` bench suite so both measure the same pipeline.
+pub fn p4_stream_log(
+    n: usize,
+    seed_inserts: usize,
+    stream_inserts: usize,
+    checkpoint_every: usize,
+    seed: u64,
+) -> epq_structures::live::StreamLog {
+    let sig = epq_structures::Signature::from_symbols([("E", 2), ("F", 2)]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut log = epq_workloads::data::random_insert_log(
+        &mut rng,
+        &sig,
+        n,
+        seed_inserts,
+        seed_inserts.max(1),
+        &[1, 0],
+    );
+    let stream = epq_workloads::data::random_insert_log(
+        &mut rng,
+        &sig,
+        n,
+        stream_inserts,
+        checkpoint_every,
+        &[0, 1],
+    );
+    log.ops.extend(stream.ops);
+    log
+}
+
+/// Replays `log` through incremental maintenance
+/// (`epq_core::incremental::LiveCount`, up to `threads` workers under
+/// the maintainer's joins), returning the checkpoint counts.
+pub fn stream_incremental(
+    query: &epq_logic::Query,
+    log: &epq_structures::live::StreamLog,
+    engine: fn() -> Box<dyn PpCountingEngine>,
+    threads: usize,
+) -> Vec<epq_bigint::Natural> {
+    let prepared = epq_core::prepared::PreparedQuery::prepare_uncached(query, &log.signature)
+        .expect("query prepares")
+        .with_engine(engine());
+    let mut live = epq_core::incremental::LiveCount::new(prepared, log.open())
+        .expect("signatures match")
+        .with_threads(threads);
+    log.ops.iter().filter_map(|op| live.apply(op)).collect()
+}
+
+/// Replays `log` with prepare-once/recount-each-checkpoint — the best
+/// non-incremental pipeline available before the streaming layer —
+/// returning the checkpoint counts.
+pub fn stream_recount(
+    query: &epq_logic::Query,
+    log: &epq_structures::live::StreamLog,
+    engine: fn() -> Box<dyn PpCountingEngine>,
+) -> Vec<epq_bigint::Natural> {
+    let prepared = epq_core::prepared::PreparedQuery::prepare_uncached(query, &log.signature)
+        .expect("query prepares")
+        .with_engine(engine());
+    let mut live = log.open();
+    let mut counts = Vec::new();
+    for op in &log.ops {
+        match op {
+            epq_structures::live::StreamOp::Insert { rel, tuple } => {
+                live.insert_tuple(*rel, tuple);
+            }
+            epq_structures::live::StreamOp::Checkpoint => {
+                counts.push(prepared.count(live.snapshot()));
+            }
+        }
+    }
+    counts
+}
+
 /// Escapes a string for inclusion in a JSON string literal (quotes,
 /// backslashes, and control characters). The experiments binary emits
 /// its machine-readable reports (`BENCH_engines.json`) by hand — the

@@ -29,13 +29,19 @@
 //! * [`prepared`] — the **prepared-query architecture**: the per-query
 //!   phase (normalize → `φ⁺` → width analysis) computed once and
 //!   memoized process-wide by canonical form, with batched,
-//!   pool-parallel per-structure counting ([`count_ep_batch`]).
+//!   pool-parallel per-structure counting ([`count_ep_batch`]);
+//! * [`incremental`] — **streaming maintenance**: [`LiveCount`] keeps a
+//!   prepared query's answer count current while the structure grows
+//!   tuple by tuple, recomputing only the disjuncts that read a dirty
+//!   relation (cached relational-algebra intermediates; full per-term
+//!   recount when a dirty relation feeds a DP-table engine).
 
 pub mod classify;
 pub mod count;
 pub mod distinguish;
 pub mod equivalence;
 pub mod iex;
+pub mod incremental;
 pub mod oracle;
 pub mod plus;
 pub mod prepared;
@@ -44,6 +50,7 @@ pub use classify::{classify_query, QueryAnalysis, Regime};
 pub use count::count_ep;
 pub use equivalence::{counting_equivalent, renaming_equivalent, semi_counting_equivalent};
 pub use iex::{inclusion_exclusion_terms, star, SignedPp};
+pub use incremental::{LiveCount, LiveCountStats};
 pub use plus::{plus_decomposition, PlusDecomposition};
 pub use prepared::{
     classifier_cache_clear, classifier_cache_stats, classify_query_cached, count_ep_batch,

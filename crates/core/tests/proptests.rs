@@ -1,14 +1,17 @@
 //! Property tests for `epq-core`: the oracle reductions round-trip on
-//! random queries/structures, and the batched prepared-query API is
-//! bit-identical to sequential counting at every thread count.
+//! random queries/structures, the batched prepared-query API is
+//! bit-identical to sequential counting at every thread count, and
+//! incremental streaming maintenance agrees with from-scratch recounts
+//! after every random insert sequence.
 
 use epq_core::count::{count_ep, count_ep_with};
 use epq_core::iex::star;
+use epq_core::incremental::LiveCount;
 use epq_core::oracle;
 use epq_core::plus::plus_decomposition;
 use epq_core::prepared::{count_ep_batch, PreparedQuery};
 use epq_counting::brute;
-use epq_counting::engines::FptEngine;
+use epq_counting::engines::{FptEngine, RelalgEngine};
 use epq_logic::dnf;
 use epq_workloads::{data, queries};
 use proptest::prelude::*;
@@ -125,5 +128,81 @@ proptest! {
             );
         }
         prop_assert_eq!(count_ep_batch(&prepared, &structures), sequential);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The streaming tentpole invariant: after **every** checkpoint of
+    /// a random insert sequence, `LiveCount::current` equals a
+    /// from-scratch `PreparedQuery::count` on the same snapshot — for
+    /// the cached-relalg maintenance path at 1/2/4 worker threads and
+    /// for the DP-table fallback path, with a brute-force cross-check
+    /// on the final structure.
+    #[test]
+    fn live_count_agrees_with_recount_after_random_inserts(
+        qseed in 0u64..10_000,
+        lseed in 0u64..10_000,
+        n in 1usize..=4,
+        inserts in 1usize..=24,
+        checkpoint_every in 1usize..=5,
+        e_weight in 0u32..=3,
+    ) {
+        // A random two-relation UCQ (some draws include sentence
+        // disjuncts via fully-quantified random CQs) over a random
+        // skew between the two relations.
+        let sig = epq_structures::Signature::from_symbols([("E", 2), ("F", 2)]);
+        let query = queries::random_ucq_over(
+            &mut StdRng::seed_from_u64(qseed), &sig, 2, 3, 2, 0.3);
+        let log = data::random_insert_log(
+            &mut StdRng::seed_from_u64(lseed),
+            &sig,
+            n,
+            inserts,
+            checkpoint_every,
+            &[e_weight, 1],
+        );
+
+        // Maintenance configurations: cached relational algebra at
+        // three thread caps, plus the DP-table (fpt) fallback.
+        let mut maintainers: Vec<LiveCount> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                let prepared = PreparedQuery::prepare_uncached(&query, &sig)
+                    .unwrap()
+                    .with_engine(Box::new(RelalgEngine));
+                LiveCount::new(prepared, log.open()).unwrap().with_threads(threads)
+            })
+            .collect();
+        maintainers.push({
+            let prepared = PreparedQuery::prepare_uncached(&query, &sig).unwrap();
+            LiveCount::new(prepared, log.open()).unwrap()
+        });
+        prop_assert!(!maintainers.last().unwrap().uses_cached_relalg());
+
+        for op in &log.ops {
+            let counts: Vec<_> = maintainers
+                .iter_mut()
+                .map(|m| m.apply(op))
+                .collect();
+            if let Some(Some(first)) = counts.first() {
+                let reference = maintainers[0].recount_from_scratch();
+                prop_assert_eq!(first, &reference, "cached relalg (1 thread) vs recount");
+                for (i, count) in counts.iter().enumerate() {
+                    prop_assert_eq!(
+                        count.as_ref().unwrap(),
+                        &reference,
+                        "maintainer {} vs recount", i
+                    );
+                }
+            }
+        }
+        // Final cross-check against ground truth on the full replay.
+        let final_structure = log.replay();
+        let expected = brute::count_ep_brute(&query, &final_structure);
+        for (i, m) in maintainers.iter_mut().enumerate() {
+            prop_assert_eq!(&m.current(), &expected, "maintainer {} vs brute force", i);
+        }
     }
 }

@@ -29,8 +29,8 @@
 //! The flat tables keep their entries sorted by bag assignment, so
 //! every traversal order in this module is a sorted order — nothing
 //! iterates a `HashMap`/`HashSet` whose order could differ between runs.
-//! (The only hash collections left are the `allowed` sets of
-//! [`CspConstraint`], used purely for membership tests.) This matters
+//! (The `allowed` sets of [`CspConstraint`] are packed, sorted
+//! [`TupleSet`]s used purely for membership tests.) This matters
 //! for the parallel entry point [`TdCounter::count_par`]: its shard
 //! boundaries are contiguous chunks of the sorted tables, so they are
 //! identical run to run and the parallel counts are reproducible across
@@ -38,10 +38,10 @@
 
 use crate::table::FlatTable;
 pub use crate::table::PAR_NODE_THRESHOLD;
+use crate::tupleset::TupleSet;
 use epq_bigint::Natural;
 use epq_graph::{treewidth, Graph, NiceNode, NiceTreeDecomposition};
 use epq_structures::Structure;
-use std::collections::HashSet;
 
 /// One constraint: an ordered scope of distinct variables and the set of
 /// allowed value tuples.
@@ -49,13 +49,22 @@ use std::collections::HashSet;
 pub struct CspConstraint {
     /// Distinct variable indices.
     pub scope: Vec<u32>,
-    /// Allowed assignments to the scope (in scope order).
-    pub allowed: HashSet<Vec<u32>>,
+    /// Allowed assignments to the scope (in scope order), packed for
+    /// the introduce filter's membership probes (see [`TupleSet`]).
+    pub allowed: TupleSet,
 }
 
 impl CspConstraint {
-    /// Builds a constraint; deduplicates nothing, asserts distinct scope.
-    pub fn new(scope: Vec<u32>, allowed: HashSet<Vec<u32>>) -> Self {
+    /// Builds a constraint from any tuple collection (duplicates
+    /// collapse in the packed set); asserts distinct scope.
+    ///
+    /// # Panics
+    /// Panics on a repeated scope variable or a tuple whose width
+    /// differs from the scope's.
+    pub fn new<I>(scope: Vec<u32>, allowed: I) -> Self
+    where
+        I: IntoIterator<Item = Vec<u32>>,
+    {
         let mut sorted = scope.clone();
         sorted.sort_unstable();
         sorted.dedup();
@@ -64,6 +73,7 @@ impl CspConstraint {
             scope.len(),
             "constraint scope must be distinct"
         );
+        let allowed = TupleSet::from_tuples(scope.len(), allowed);
         CspConstraint { scope, allowed }
     }
 }
@@ -284,7 +294,7 @@ pub fn hom_constraints(a: &Structure, b: &Structure) -> Vec<CspConstraint> {
                 .iter()
                 .map(|v| atom.iter().position(|e| e == v).unwrap())
                 .collect();
-            let mut allowed = HashSet::new();
+            let mut allowed: Vec<Vec<u32>> = Vec::new();
             'tuples: for t in b.relation(rel).tuples() {
                 for (i, &e) in atom.iter().enumerate() {
                     let first = atom.iter().position(|x| *x == e).unwrap();
@@ -292,7 +302,7 @@ pub fn hom_constraints(a: &Structure, b: &Structure) -> Vec<CspConstraint> {
                         continue 'tuples;
                     }
                 }
-                allowed.insert(positions.iter().map(|&i| t[i]).collect());
+                allowed.push(positions.iter().map(|&i| t[i]).collect());
             }
             out.push(CspConstraint::new(scope, allowed));
         }
@@ -320,6 +330,7 @@ mod tests {
     use super::*;
     use epq_structures::hom::count_homomorphisms;
     use epq_structures::Signature;
+    use std::collections::HashSet;
 
     fn digraph(n: usize, edges: &[(u32, u32)]) -> Structure {
         let sig = Signature::from_symbols([("E", 2)]);
@@ -331,7 +342,10 @@ mod tests {
     }
 
     fn constraint(scope: &[u32], allowed: &[&[u32]]) -> CspConstraint {
-        CspConstraint::new(scope.to_vec(), allowed.iter().map(|t| t.to_vec()).collect())
+        CspConstraint::new(
+            scope.to_vec(),
+            allowed.iter().map(|t| t.to_vec()).collect::<Vec<_>>(),
+        )
     }
 
     #[test]

@@ -18,6 +18,18 @@ pub trait PpCountingEngine: Send + Sync {
 
     /// Computes `|φ(B)|`.
     fn count(&self, pp: &PpFormula, b: &Structure) -> Natural;
+
+    /// Whether this engine evaluates by relational-algebra atom scans,
+    /// so that an incremental maintainer
+    /// (`epq_core::incremental::LiveCount`) can re-evaluate affected
+    /// formulas through cached scan intermediates
+    /// (`epq_relalg::ScanCache`). The DP-table and enumeration engines
+    /// return `false`: a dirty relation invalidates their state
+    /// wholesale, so incremental maintenance falls back to a full
+    /// per-formula recount through the engine.
+    fn scan_based(&self) -> bool {
+        false
+    }
 }
 
 /// Exhaustive assignment enumeration (`O(|B|^|lib|)` hom checks).
@@ -43,6 +55,10 @@ impl PpCountingEngine for RelalgEngine {
 
     fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
         epq_relalg::count_pp(pp, b)
+    }
+
+    fn scan_based(&self) -> bool {
+        true
     }
 }
 
@@ -183,6 +199,10 @@ impl PpCountingEngine for ParRelalgEngine {
 
     fn count(&self, pp: &PpFormula, b: &Structure) -> Natural {
         epq_relalg::count_pp_par(pp, b, self.threads)
+    }
+
+    fn scan_based(&self) -> bool {
+        true
     }
 }
 

@@ -27,6 +27,9 @@
 //!   container is offline) backing the parallel engines;
 //! * [`table`] — the packed-key flat DP tables (row-major key arena +
 //!   `Natural` column) the tree-decomposition DP runs on;
+//! * [`tupleset`] — packed, sorted tuple sets backing every
+//!   constraint's `allowed` relation (the introduce filter's membership
+//!   probes run on machine words, not hashed `Vec` keys);
 //! * [`clique`] — the clique ⇄ query encodings anchoring the hardness side
 //!   (cases (2) and (3) of the trichotomy);
 //! * [`decision`] — answer existence / model checking (the 1-or-0
@@ -40,6 +43,7 @@ pub mod engines;
 pub mod fpt;
 pub mod pool;
 pub mod table;
+pub mod tupleset;
 
 pub use csp::{CspConstraint, TdCounter};
 pub use engines::{
@@ -47,3 +51,4 @@ pub use engines::{
     RelalgEngine,
 };
 pub use table::FlatTable;
+pub use tupleset::TupleSet;

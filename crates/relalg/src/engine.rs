@@ -3,7 +3,8 @@
 use crate::relation::Relation;
 use epq_bigint::Natural;
 use epq_logic::PpFormula;
-use epq_structures::Structure;
+use epq_structures::{RelId, Structure};
+use std::collections::HashMap;
 
 /// A record of the join order chosen for a formula (for inspection and
 /// the benchmark reports).
@@ -13,10 +14,10 @@ pub struct JoinPlan {
     pub steps: Vec<String>,
 }
 
-/// Scans one atom `(rel, element-tuple)` of `pp` against `b`, producing a
+/// Scans one atom `(rel, element-tuple)` against `b`, producing a
 /// relation whose schema is the atom's distinct element indices (repeated
 /// elements become equality selections).
-fn scan_atom(pp: &PpFormula, b: &Structure, rel: epq_structures::RelId, atom: &[u32]) -> Relation {
+fn scan_atom(b: &Structure, rel: RelId, atom: &[u32]) -> Relation {
     // Distinct columns in order of first occurrence.
     let mut schema: Vec<u32> = Vec::new();
     for &e in atom {
@@ -43,7 +44,6 @@ fn scan_atom(pp: &PpFormula, b: &Structure, rel: epq_structures::RelId, atom: &[
         data.extend(positions.iter().map(|&i| t[i]));
         matched = true;
     }
-    let _ = pp;
     if schema.is_empty() {
         // A nullary atom is a presence test.
         return if matched {
@@ -55,20 +55,117 @@ fn scan_atom(pp: &PpFormula, b: &Structure, rel: epq_structures::RelId, atom: &[
     Relation::from_flat(schema, data)
 }
 
+/// A cache of atom-scan intermediates over **one** structure, the
+/// relational-algebra hook behind incremental re-counting
+/// (`epq_core::incremental::LiveCount`).
+///
+/// The scan of an atom depends only on the target relation's tuples and
+/// the atom's **repeat pattern** (which positions carry equal element
+/// indices) — not on the concrete indices, the enclosing formula, or
+/// the ∃-component numbering. Entries are therefore keyed on
+/// `(relation, pattern)` and stored with a pattern-canonical schema; a
+/// hit is one arena clone plus a schema rename (no rescan, no re-sort),
+/// and one entry serves every disjunct that scans the same shape.
+///
+/// **Coherence is the caller's contract:** a cache belongs to one
+/// structure, and every relation that gains tuples must be
+/// [`ScanCache::invalidate`]d before the next evaluation against it.
+#[derive(Debug, Default)]
+pub struct ScanCache {
+    /// `(relation id, repeat-pattern-normalized atom) → scan` with the
+    /// pattern-canonical schema `0..k`.
+    map: HashMap<(u32, Vec<u32>), Relation>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ScanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ScanCache::default()
+    }
+
+    /// Number of cached scans.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Scan lookups answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Scan lookups that ran the real scan.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Drops every cached scan of `rel` — call after `rel` gains
+    /// tuples.
+    pub fn invalidate(&mut self, rel: RelId) {
+        self.map.retain(|&(r, _), _| r != rel.0);
+    }
+
+    /// Drops everything (the counters keep accumulating).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// The scan of `atom` against `b.relation(rel)`, from the cache
+    /// when the `(rel, pattern)` shape was scanned before.
+    pub fn scan(&mut self, b: &Structure, rel: RelId, atom: &[u32]) -> Relation {
+        // Normalize to the repeat pattern (first occurrence ↦ 0, 1, …)
+        // and remember the atom's real distinct-element schema.
+        let mut schema: Vec<u32> = Vec::new();
+        let pattern: Vec<u32> = atom
+            .iter()
+            .map(|&e| match schema.iter().position(|&s| s == e) {
+                Some(i) => i as u32,
+                None => {
+                    schema.push(e);
+                    schema.len() as u32 - 1
+                }
+            })
+            .collect();
+        if let Some(cached) = self.map.get(&(rel.0, pattern.clone())) {
+            self.hits += 1;
+            return cached.clone().renamed(schema);
+        }
+        self.misses += 1;
+        // Scanning the pattern itself yields the canonical schema
+        // `0..k`, which is what the map stores.
+        let canonical = scan_atom(b, rel, &pattern);
+        let out = canonical.clone().renamed(schema);
+        self.map.insert((rel.0, pattern), canonical);
+        out
+    }
+}
+
 /// Joins all atoms of `pp` against `b` greedily (smallest relation first,
-/// preferring scans that share a column with what has been joined so far).
-/// Returns the joined relation and the plan taken.
+/// preferring scans that share a column with what has been joined so far),
+/// pulling each atom's scan from `scan` (a direct [`scan_atom`] or a
+/// [`ScanCache`]). Returns the joined relation and the plan taken.
 ///
 /// Each join's outer (probe) relation is partitioned across up to
 /// `threads` pool workers; the greedy join *order* is chosen before any
 /// join runs, so the plan — and, via the sort+dedup normalization in
 /// [`Relation::new`], the result — is identical at every thread count.
-fn join_all(pp: &PpFormula, b: &Structure, threads: usize) -> (Relation, JoinPlan) {
+fn join_all_via(
+    pp: &PpFormula,
+    b: &Structure,
+    threads: usize,
+    scan: &mut dyn FnMut(&Structure, RelId, &[u32]) -> Relation,
+) -> (Relation, JoinPlan) {
     let mut plan = JoinPlan::default();
     let mut scans: Vec<(String, Relation)> = Vec::new();
     for (rel, name, _) in pp.signature().iter() {
         for t in pp.structure().relation(rel).tuples() {
-            let r = scan_atom(pp, b, rel, t);
+            let r = scan(b, rel, t);
             plan.steps
                 .push(format!("scan {name}{t:?} -> {} rows", r.len()));
             scans.push((format!("{name}{t:?}"), r));
@@ -96,6 +193,11 @@ fn join_all(pp: &PpFormula, b: &Structure, threads: usize) -> (Relation, JoinPla
     (acc, plan)
 }
 
+/// [`join_all_via`] with direct (uncached) atom scans.
+fn join_all(pp: &PpFormula, b: &Structure, threads: usize) -> (Relation, JoinPlan) {
+    join_all_via(pp, b, threads, &mut |b, rel, atom| scan_atom(b, rel, atom))
+}
+
 /// Counts `|φ(B)|` for a pp-formula by relational algebra, component by
 /// component: `|φ(B)| = Π_i |φᵢ(B)|` (Section 2.1 of the paper), where a
 /// liberal-free component contributes 1/0 by satisfiability, an isolated
@@ -109,6 +211,31 @@ pub fn count_pp(pp: &PpFormula, b: &Structure) -> Natural {
 /// to `threads` pool workers (see [`Relation::join_par`]). Counts are
 /// bit-identical to the sequential engine at every thread count.
 pub fn count_pp_par(pp: &PpFormula, b: &Structure, threads: usize) -> Natural {
+    count_pp_via(pp, b, threads, &mut |b, rel, atom| scan_atom(b, rel, atom))
+}
+
+/// [`count_pp`] with atom scans served from (and inserted into)
+/// `cache` — the incremental-maintenance entry point: after a few
+/// relations change, re-evaluating a formula rescans only atoms over
+/// the relations the caller [`ScanCache::invalidate`]d, and reuses
+/// every other scan. Counts are bit-identical to [`count_pp`] /
+/// [`count_pp_par`] — identical scans feed the identical greedy plan —
+/// provided the cache is coherent with `b` (see [`ScanCache`]).
+pub fn count_pp_cached(
+    pp: &PpFormula,
+    b: &Structure,
+    cache: &mut ScanCache,
+    threads: usize,
+) -> Natural {
+    count_pp_via(pp, b, threads, &mut |b, rel, atom| cache.scan(b, rel, atom))
+}
+
+fn count_pp_via(
+    pp: &PpFormula,
+    b: &Structure,
+    threads: usize,
+    scan: &mut dyn FnMut(&Structure, RelId, &[u32]) -> Relation,
+) -> Natural {
     let mut total = Natural::one();
     for component in pp.components() {
         let n = component.structure().universe_size();
@@ -128,7 +255,7 @@ pub fn count_pp_par(pp: &PpFormula, b: &Structure, threads: usize) -> Natural {
                 }
             }
         } else {
-            let (joined, _) = join_all(&component, b, threads);
+            let (joined, _) = join_all_via(&component, b, threads, scan);
             if joined.is_empty() {
                 // An early-terminated empty join may have a partial
                 // schema; the count is zero either way.
@@ -381,6 +508,80 @@ mod tests {
         // Sentence with quantifier on the empty structure: 0.
         let pp = pp_of("exists a . E(a,a)");
         assert_eq!(count_pp(&pp, &empty).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn cached_counts_match_uncached_across_invalidation() {
+        let texts = [
+            "E(x,y)",
+            "(x,y,z) := E(x,y)",
+            "(x) := exists u . E(x,u) & E(u,u)",
+            "E(x,y) & E(y,z)",
+            "E(x,x)",
+        ];
+        let mut b = example_c();
+        let mut cache = ScanCache::new();
+        for text in texts {
+            let pp = pp_of(text);
+            assert_eq!(
+                count_pp_cached(&pp, &b, &mut cache, 1),
+                count_pp(&pp, &b),
+                "cold cache, query {text}"
+            );
+        }
+        assert!(cache.misses() > 0);
+        // Warm pass: every scan shape is resident.
+        let miss_watermark = cache.misses();
+        for text in texts {
+            let pp = pp_of(text);
+            assert_eq!(
+                count_pp_cached(&pp, &b, &mut cache, 1),
+                count_pp(&pp, &b),
+                "warm cache, query {text}"
+            );
+        }
+        assert_eq!(cache.misses(), miss_watermark, "warm pass must not rescan");
+        assert!(cache.hits() > 0);
+        // Mutate E, invalidate, and re-verify against fresh scans.
+        let e = b.signature().lookup("E").unwrap();
+        b.add_tuple(e, &[1, 0]);
+        cache.invalidate(e);
+        for text in texts {
+            let pp = pp_of(text);
+            assert_eq!(
+                count_pp_cached(&pp, &b, &mut cache, 1),
+                count_pp(&pp, &b),
+                "after invalidation, query {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn cache_shares_scans_across_formulas_by_pattern() {
+        // E(x,y) and E(y,z) have the same repeat pattern — one cache
+        // entry serves both; E(x,x) is a different pattern.
+        let b = example_c();
+        let mut cache = ScanCache::new();
+        let _ = count_pp_cached(&pp_of("E(x,y)"), &b, &mut cache, 1);
+        assert_eq!((cache.len(), cache.misses()), (1, 1));
+        let _ = count_pp_cached(&pp_of("(a,b) := E(a,b)"), &b, &mut cache, 1);
+        assert_eq!((cache.len(), cache.misses()), (1, 1));
+        let _ = count_pp_cached(&pp_of("E(x,x)"), &b, &mut cache, 1);
+        assert_eq!((cache.len(), cache.misses()), (2, 2));
+        cache.invalidate(b.signature().lookup("E").unwrap());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_counts_are_thread_invariant() {
+        let pp = pp_of("E(x,y) & E(y,z)");
+        let b = example_c();
+        let expected = count_pp(&pp, &b);
+        for threads in [1usize, 2, 4] {
+            let mut cache = ScanCache::new();
+            assert_eq!(count_pp_cached(&pp, &b, &mut cache, threads), expected);
+            assert_eq!(count_pp_cached(&pp, &b, &mut cache, threads), expected);
+        }
     }
 
     #[test]

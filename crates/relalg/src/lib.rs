@@ -40,6 +40,7 @@ pub mod engine;
 pub mod relation;
 
 pub use engine::{
-    answers_pp, answers_pp_par, count_pp, count_pp_par, count_ucq, count_ucq_par, JoinPlan,
+    answers_pp, answers_pp_par, count_pp, count_pp_cached, count_pp_par, count_ucq, count_ucq_par,
+    JoinPlan, ScanCache,
 };
 pub use relation::{Relation, Rows};

@@ -21,13 +21,18 @@
 //! * [`core`] — cores, homomorphic equivalence, retract computation;
 //! * [`iso`] — isomorphism testing (used to compare cores);
 //! * [`parse`] — a small text format for structures, round-tripping with
-//!   `Display`.
+//!   `Display`;
+//! * [`live`] — append-only tuple ingestion ([`LiveStructure`]: dirty
+//!   tracking per relation, free snapshots) and the tuple-log format
+//!   ([`StreamLog`]) behind the streaming counting layer.
 
 pub mod core;
 pub mod hom;
 pub mod iso;
+pub mod live;
 pub mod ops;
 pub mod parse;
 pub mod structure;
 
+pub use live::{LiveStructure, StreamLog, StreamOp};
 pub use structure::{RelId, Signature, Structure};

@@ -1,6 +1,7 @@
 //! Structure (data) generators.
 
-use epq_structures::{Signature, Structure};
+use epq_structures::live::{StreamLog, StreamOp};
+use epq_structures::{RelId, Signature, Structure};
 use rand::Rng;
 
 /// The digraph signature `{E/2}`.
@@ -100,6 +101,96 @@ pub fn random_digraph_size_sweep<R: Rng>(rng: &mut R, sizes: &[usize], p: f64) -
     sizes.iter().map(|&n| random_digraph(rng, n, p)).collect()
 }
 
+/// A random streaming insert log over an arbitrary signature — the
+/// workload shape of `epq_core::incremental::LiveCount` and the `P4`
+/// experiment.
+///
+/// Produces `inserts` random tuple insertions (elements uniform over
+/// `0..n`; duplicates are allowed — ingestion is idempotent), the
+/// target relation of each drawn with probability proportional to
+/// `weights` (one integer weight per signature symbol — real streams
+/// are skewed, with most traffic landing on one relation, which is
+/// exactly what makes incremental maintenance pay). A checkpoint is
+/// emitted after every `checkpoint_every` inserts and once more at the
+/// end if inserts remain unreported.
+///
+/// # Panics
+/// Panics if `weights` does not match the signature, all weights are
+/// zero, a weighted relation exists with `n == 0`, or
+/// `checkpoint_every == 0`.
+pub fn random_insert_log<R: Rng>(
+    rng: &mut R,
+    signature: &Signature,
+    n: usize,
+    inserts: usize,
+    checkpoint_every: usize,
+    weights: &[u32],
+) -> StreamLog {
+    assert_eq!(
+        weights.len(),
+        signature.len(),
+        "one weight per relation symbol"
+    );
+    let total: u64 = weights.iter().map(|&w| u64::from(w)).sum();
+    assert!(total > 0, "at least one relation needs a nonzero weight");
+    assert!(checkpoint_every >= 1, "checkpoint_every must be positive");
+    let mut ops = Vec::with_capacity(inserts + inserts / checkpoint_every + 1);
+    let mut since_checkpoint = 0usize;
+    for _ in 0..inserts {
+        // Cumulative-weight draw (integer arithmetic: the rand shim's
+        // float surface is minimal, and determinism per seed matters).
+        let mut pick = rng.gen_range(0..total);
+        let rel = weights
+            .iter()
+            .position(|&w| {
+                let w = u64::from(w);
+                if pick < w {
+                    true
+                } else {
+                    pick -= w;
+                    false
+                }
+            })
+            .expect("total weight covers every draw");
+        let rel = RelId(rel as u32);
+        assert!(n > 0, "cannot draw tuples over an empty universe");
+        let tuple: Vec<u32> = (0..signature.arity(rel))
+            .map(|_| rng.gen_range(0..n as u32))
+            .collect();
+        ops.push(StreamOp::Insert { rel, tuple });
+        since_checkpoint += 1;
+        if since_checkpoint == checkpoint_every {
+            ops.push(StreamOp::Checkpoint);
+            since_checkpoint = 0;
+        }
+    }
+    if since_checkpoint > 0 {
+        ops.push(StreamOp::Checkpoint);
+    }
+    StreamLog {
+        signature: signature.clone(),
+        universe: n,
+        ops,
+    }
+}
+
+/// [`random_insert_log`] over the digraph signature `{E/2}`.
+pub fn random_digraph_insert_log<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    inserts: usize,
+    checkpoint_every: usize,
+) -> StreamLog {
+    random_insert_log(
+        rng,
+        &digraph_signature(),
+        n,
+        inserts,
+        checkpoint_every,
+        &[1],
+    )
+}
+
 /// The directed path structure `0 → 1 → … → n−1`.
 pub fn path_structure(n: usize) -> Structure {
     let mut s = Structure::new(digraph_signature(), n);
@@ -177,6 +268,41 @@ mod tests {
             sweep.iter().map(|s| s.universe_size()).collect::<Vec<_>>(),
             vec![2, 4, 6]
         );
+    }
+
+    #[test]
+    fn insert_logs_are_deterministic_and_checkpointed() {
+        let sig = Signature::from_symbols([("E", 2), ("F", 2)]);
+        let a = random_insert_log(&mut StdRng::seed_from_u64(7), &sig, 6, 25, 10, &[1, 9]);
+        let b = random_insert_log(&mut StdRng::seed_from_u64(7), &sig, 6, 25, 10, &[1, 9]);
+        assert_eq!(a, b);
+        assert_eq!(a.insert_count(), 25);
+        // Every 10 inserts plus the trailing remainder checkpoint.
+        assert_eq!(a.checkpoint_count(), 3);
+        assert_eq!(a.universe, 6);
+        // The log round-trips through its text format.
+        let reparsed = epq_structures::live::StreamLog::parse(&a.to_string()).unwrap();
+        assert_eq!(a, reparsed);
+        // Replay respects arities and universe bounds (would panic
+        // otherwise) and the skew favors F.
+        let replayed = a.replay();
+        let f_tuples = replayed.relation(sig.lookup("F").unwrap()).len();
+        let e_tuples = replayed.relation(sig.lookup("E").unwrap()).len();
+        assert!(f_tuples > e_tuples, "weights should skew toward F");
+    }
+
+    #[test]
+    fn digraph_insert_log_shape() {
+        let log = random_digraph_insert_log(&mut StdRng::seed_from_u64(3), 5, 20, 5);
+        assert_eq!(log.signature.len(), 1);
+        assert_eq!(log.insert_count(), 20);
+        assert_eq!(log.checkpoint_count(), 4);
+        // A zero-weight relation is never drawn.
+        let sig = Signature::from_symbols([("E", 2), ("F", 2)]);
+        let skewed = random_insert_log(&mut StdRng::seed_from_u64(4), &sig, 4, 12, 4, &[0, 1]);
+        let replayed = skewed.replay();
+        assert!(replayed.relation(sig.lookup("E").unwrap()).is_empty());
+        assert!(!replayed.relation(sig.lookup("F").unwrap()).is_empty());
     }
 
     #[test]

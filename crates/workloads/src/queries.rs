@@ -169,21 +169,62 @@ pub fn random_ucq<R: Rng>(
     atoms: usize,
     quantify: f64,
 ) -> Query {
+    random_ucq_with(rng, disjuncts, vars, atoms, quantify, |rng, names| {
+        let a = rng.gen_range(0..names.len());
+        let b = rng.gen_range(0..names.len());
+        Formula::Atom(epq_logic::Atom::new(
+            "E",
+            vec![Var::new(&names[a]), Var::new(&names[b])],
+        ))
+    })
+}
+
+/// A seeded random UCQ over an arbitrary signature: like
+/// [`random_ucq`], but each atom draws its relation symbol uniformly
+/// from `signature` and fills its arity with random variables from the
+/// shared pool. Which variables are quantifiable is decided globally,
+/// as in [`random_ucq`].
+pub fn random_ucq_over<R: Rng>(
+    rng: &mut R,
+    signature: &Signature,
+    disjuncts: usize,
+    vars: usize,
+    atoms: usize,
+    quantify: f64,
+) -> Query {
+    assert!(!signature.is_empty());
+    let symbols: Vec<(String, usize)> = signature
+        .iter()
+        .map(|(_, name, arity)| (name.to_string(), arity))
+        .collect();
+    random_ucq_with(rng, disjuncts, vars, atoms, quantify, |rng, names| {
+        let (name, arity) = &symbols[rng.gen_range(0..symbols.len())];
+        let args: Vec<Var> = (0..*arity)
+            .map(|_| Var::new(&names[rng.gen_range(0..names.len())]))
+            .collect();
+        Formula::Atom(epq_logic::Atom::new(name, args))
+    })
+}
+
+/// The shared UCQ builder behind [`random_ucq`] and
+/// [`random_ucq_over`], parameterized by the atom draw (kept a closure
+/// rather than delegation so each caller's seeded RNG sequence stays
+/// exactly what it always was).
+fn random_ucq_with<R: Rng>(
+    rng: &mut R,
+    disjuncts: usize,
+    vars: usize,
+    atoms: usize,
+    quantify: f64,
+    mut draw_atom: impl FnMut(&mut R, &[String]) -> Formula,
+) -> Query {
     assert!(disjuncts >= 1);
     assert!(vars >= 1);
     let names: Vec<String> = (0..vars).map(|i| format!("v{i}")).collect();
     let quantifiable: Vec<bool> = (0..vars).map(|_| rng.gen_bool(quantify)).collect();
     let parts: Vec<Formula> = (0..disjuncts)
         .map(|_| {
-            let mut body = Vec::with_capacity(atoms);
-            for _ in 0..atoms {
-                let a = rng.gen_range(0..vars);
-                let b = rng.gen_range(0..vars);
-                body.push(Formula::Atom(epq_logic::Atom::new(
-                    "E",
-                    vec![Var::new(&names[a]), Var::new(&names[b])],
-                )));
-            }
+            let body: Vec<Formula> = (0..atoms).map(|_| draw_atom(rng, &names)).collect();
             let matrix = Formula::conjunction(body);
             let used = matrix.free_vars();
             let quantified: Vec<&str> = names
@@ -210,6 +251,16 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+
+    #[test]
+    fn random_ucq_over_uses_signature_and_is_deterministic() {
+        let sig = Signature::from_symbols([("E", 2), ("T", 3)]);
+        let a = random_ucq_over(&mut StdRng::seed_from_u64(5), &sig, 2, 3, 2, 0.4);
+        let b = random_ucq_over(&mut StdRng::seed_from_u64(5), &sig, 2, 3, 2, 0.4);
+        assert_eq!(a.to_string(), b.to_string());
+        // Every atom checks against the generating signature.
+        epq_logic::query::check_against_signature(a.formula(), &sig).unwrap();
+    }
 
     #[test]
     fn path_query_shape() {

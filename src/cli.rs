@@ -28,8 +28,8 @@ pub const USAGE: &str = "\
 epq — counting answers to existential positive queries (Chen & Mengel, PODS 2016)
 
 USAGE:
-  epq count    --query <Q> (--data <FILE> | --data-inline <S> | --batch <FILE>)
-               [--engine <E>] [--threads <N>]
+  epq count    --query <Q> (--data <FILE> | --data-inline <S> | --batch <FILE>
+               | --stream <FILE>) [--engine <E>] [--threads <N>]
   epq classify --query <Q>
   epq star     --query <Q>
   epq plus     --query <Q>
@@ -41,12 +41,19 @@ QUERY SYNTAX:    (x, y) := E(x,y) | (exists u . E(x,u) & E(u,y))
 STRUCTURE SYNTAX: structure { universe 4  E = { (0,1), (1,2) } }
 ENGINES:         fpt (default) | brute-force | relalg | hom-dp
                  | fpt-par | brute-par | relalg-par
-THREADS:         --threads N caps the worker threads of the parallel engines
-                 and of --batch fan-out (default: all hardware threads)
+THREADS:         --threads N caps the worker threads of the parallel engines,
+                 of --batch fan-out, and of the --stream maintainer's joins
+                 (default: all hardware threads)
 BATCH:           --batch <FILE> reads one or more structure blocks; the query
                  is prepared once and counted per block (one count per line).
                  --threads caps the per-structure fan-out; each job's engine
                  runs single-threaded
+STREAM:          --stream <FILE> replays a tuple log (universe N / rel R/k /
+                 insert R e... / checkpoint lines) through the incremental
+                 maintainer, printing one count per checkpoint (and a final
+                 count if the log does not end on one). relalg-family engines
+                 maintain through cached scans; DP-table engines recount each
+                 affected disjunct in full
 ";
 
 /// Runs the CLI with `args` (excluding the program name), writing to
@@ -59,6 +66,9 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), String> {
             let query = required(args, "--query")?;
             if let Some(path) = flag_value(args, "--batch") {
                 return count_batch(args, &query, &path, out);
+            }
+            if let Some(path) = flag_value(args, "--stream") {
+                return count_stream(args, &query, &path, out);
             }
             let b = load_structure(args)?;
             let engine = engine_from(args)?;
@@ -191,6 +201,42 @@ fn count_batch(
         .with_engine(engine);
     for n in prepared.count_batch(&structures, threads) {
         writeln!(out, "{n}").map_err(|e| format!("I/O error: {e}"))?;
+    }
+    Ok(())
+}
+
+/// `epq count --stream <FILE>`: replay a tuple log through the
+/// incremental maintainer, printing the count at every checkpoint.
+fn count_stream(
+    args: &[String],
+    query_text: &str,
+    path: &str,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    use epq_core::incremental::LiveCount;
+    use epq_structures::live::{StreamLog, StreamOp};
+
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let log = StreamLog::parse(&text).map_err(|e| e.to_string())?;
+    let threads = threads_from(args)?;
+    let engine = engine_with_threads_cap(args, threads)?;
+    let q = parse_query(query_text).map_err(|e| e.to_string())?;
+    check_against_signature(q.formula(), &log.signature).map_err(|e| e.to_string())?;
+    let prepared = PreparedQuery::prepare(&q, &log.signature)
+        .map_err(|e| e.to_string())?
+        .with_engine(engine);
+    let mut live = LiveCount::new(prepared, log.open())
+        .map_err(|e| e.to_string())?
+        .with_threads(threads);
+    for op in &log.ops {
+        if let Some(count) = live.apply(op) {
+            writeln!(out, "{count}").map_err(|e| format!("I/O error: {e}"))?;
+        }
+    }
+    // A log that does not end on a checkpoint still reports its final
+    // state — silent trailing inserts would be invisible otherwise.
+    if !matches!(log.ops.last(), None | Some(StreamOp::Checkpoint)) {
+        writeln!(out, "{}", live.current()).map_err(|e| format!("I/O error: {e}"))?;
     }
     Ok(())
 }
@@ -591,6 +637,90 @@ mod tests {
             "/nonexistent/epq-batch.structures",
         ]);
         assert!(err.contains("cannot read"), "got: {err}");
+    }
+
+    const STREAM_LOG: &str = "\
+# a small ingestion session over the Example 4.3 structure
+universe 4
+rel E/2
+insert E 0 1
+checkpoint
+insert E 1 2
+insert E 2 3
+checkpoint
+insert E 3 3
+";
+
+    #[test]
+    fn count_stream_prints_one_count_per_checkpoint() {
+        let dir = std::env::temp_dir().join("epq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("feed.stream");
+        std::fs::write(&path, STREAM_LOG).unwrap();
+        // (x) := exists u . E(x,u): sources after each prefix — {0},
+        // {0,1,2}, and finally {0,1,2,3} (the trailing count covers the
+        // insert after the last checkpoint).
+        let out = run_ok(&[
+            "count",
+            "--query",
+            "(x) := exists u . E(x,u)",
+            "--stream",
+            path.to_str().unwrap(),
+        ]);
+        assert_eq!(out.lines().collect::<Vec<_>>(), vec!["1", "3", "4"]);
+        // Same counts through every engine and thread cap: incremental
+        // maintenance (relalg engines) and the DP fallback agree.
+        for engine in ["relalg", "relalg-par", "fpt", "brute-force"] {
+            for threads in ["1", "2"] {
+                let again = run_ok(&[
+                    "count",
+                    "--query",
+                    "(x) := exists u . E(x,u)",
+                    "--stream",
+                    path.to_str().unwrap(),
+                    "--engine",
+                    engine,
+                    "--threads",
+                    threads,
+                ]);
+                assert_eq!(again, out, "engine {engine}, threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_stream_reports_errors() {
+        let err = run_err(&[
+            "count",
+            "--query",
+            "E(x,y)",
+            "--stream",
+            "/nonexistent/epq.stream",
+        ]);
+        assert!(err.contains("cannot read"), "got: {err}");
+        let dir = std::env::temp_dir().join("epq-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.stream");
+        std::fs::write(&bad, "universe 2\nfrobnicate\n").unwrap();
+        let err = run_err(&[
+            "count",
+            "--query",
+            "E(x,y)",
+            "--stream",
+            bad.to_str().unwrap(),
+        ]);
+        assert!(err.contains("parse error"), "got: {err}");
+        // A query over relations the log never declares is rejected.
+        let log = dir.join("f.stream");
+        std::fs::write(&log, "universe 2\nrel E/2\ninsert E 0 1\ncheckpoint\n").unwrap();
+        let err = run_err(&[
+            "count",
+            "--query",
+            "F(x,y)",
+            "--stream",
+            log.to_str().unwrap(),
+        ]);
+        assert!(err.contains("not in signature"), "got: {err}");
     }
 
     #[test]

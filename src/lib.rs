@@ -51,6 +51,7 @@ pub mod prelude {
     pub use epq_core::count::{count_ep, count_ep_text};
     pub use epq_core::equivalence::{counting_equivalent, semi_counting_equivalent};
     pub use epq_core::iex::star;
+    pub use epq_core::incremental::{LiveCount, LiveCountStats};
     pub use epq_core::plus::plus_decomposition;
     pub use epq_core::prepared::{classify_query_cached, count_ep_batch, PreparedQuery};
     pub use epq_counting::engines::{
@@ -60,5 +61,5 @@ pub mod prelude {
     pub use epq_logic::parser::parse_query;
     pub use epq_logic::query::infer_signature;
     pub use epq_logic::{Formula, PpFormula, Query, Var};
-    pub use epq_structures::{Signature, Structure};
+    pub use epq_structures::{LiveStructure, Signature, StreamLog, StreamOp, Structure};
 }

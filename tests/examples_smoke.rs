@@ -87,3 +87,16 @@ fn social_network_runs() {
         "social_network should print its report"
     );
 }
+
+#[test]
+fn streaming_feed_checkpoints_agree_with_recounts() {
+    let out = run_example("streaming_feed");
+    assert!(
+        out.contains("All checkpoints agree"),
+        "streaming_feed should verify every checkpoint against a recount:\n{out}"
+    );
+    assert!(
+        !out.contains("MISMATCH"),
+        "streaming_feed reported a disagreement:\n{out}"
+    );
+}
